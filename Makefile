@@ -1,0 +1,24 @@
+# Convenience targets for the fedcons reproduction.
+
+.PHONY: install test bench experiments quick-experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments.runner --all --seed 1 --out results/
+
+quick-experiments:
+	python -m repro.experiments.runner --all --quick --samples 10
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the evaluation artifacts (see DESIGN.md's
+experiment index) at reduced sample counts, times the regeneration with
+pytest-benchmark, prints the resulting tables (run with ``-s`` to see them),
+and asserts the qualitative *shape* the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import pytest
+
+from repro.experiments.reporting import Table
+
+
+@pytest.fixture
+def show():
+    """Print experiment tables beneath the benchmark output."""
+
+    def _show(tables: Iterable[Table]) -> None:
+        for table in tables:
+            print()
+            print(table.render())
+
+    return _show

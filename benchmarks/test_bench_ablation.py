@@ -1,0 +1,19 @@
+"""EXP-F bench: PARTITION design-choice ablation."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_ablation(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-F", samples=20, seed=0, quick=True)
+    )
+    table = tables[0]
+    rows = {
+        (r[0], r[1], r[2]): sum(r[3:]) for r in table.rows
+    }
+    paper_combo = rows[("deadline", "first_fit", "dbf_approx")]
+    # DBF* admission dominates the density admission for the paper's
+    # ordering and fit.
+    density_combo = rows[("deadline", "first_fit", "density")]
+    assert paper_combo >= density_combo - 1e-9
+    show(tables)

@@ -1,0 +1,22 @@
+"""EXP-A bench: the paper's main schedulability experiment."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_acceptance(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-A", samples=20, seed=0, quick=True)
+    )
+    for table in tables:
+        ratios = table.column("FEDCONS")
+        # Monotone non-increasing acceptance in load (up to sampling noise of
+        # 20 samples: allow a single small inversion).
+        inversions = sum(
+            1 for a, b in zip(ratios, ratios[1:]) if b > a + 0.15
+        )
+        assert inversions == 0
+        # Near-certain acceptance at the lightest load; (near-)zero at the
+        # heaviest: the acceptance knee exists.
+        assert ratios[0] >= 0.8
+        assert ratios[-1] <= 0.2
+    show(tables)

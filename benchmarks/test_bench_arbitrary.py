@@ -1,0 +1,18 @@
+"""EXT-H bench: arbitrary-deadline clamp pessimism (the paper's future work)."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_arbitrary(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXT-H", samples=10, seed=0, quick=True)
+    )
+    table = tables[0]
+    accepted = table.column("clamped FEDCONS accepts")
+    passed = table.column("necessary-conditions pass")
+    gaps = table.column("gap (open territory)")
+    # Soundness of the clamp: it never accepts a system the necessary
+    # conditions reject.
+    assert all(a <= p + 1e-9 for a, p in zip(accepted, passed))
+    assert all(0.0 <= g <= 1.0 for g in gaps)
+    show(tables)

@@ -1,0 +1,22 @@
+"""EXP-B bench: FEDCONS against global-EDF tests, fully-partitioned
+scheduling, and Li et al.'s implicit-deadline federated algorithm."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_baselines(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-B", samples=20, seed=0, quick=True)
+    )
+    main, implicit = tables
+    fed = main.column("FEDCONS")
+    part = main.column("PARTITIONED")
+    # FEDCONS dominates fully-partitioned scheduling at every load level
+    # (partitioned cannot host high-density tasks at all).
+    assert all(f >= p - 1e-9 for f, p in zip(fed, part))
+    assert sum(fed) > sum(part)
+    # On the implicit restriction, both federated algorithms track closely.
+    fed_i = implicit.column("FEDCONS")
+    li_i = implicit.column("Li et al. federated")
+    assert all(abs(a - b) <= 0.35 for a, b in zip(fed_i, li_i))
+    show(tables)

@@ -1,0 +1,17 @@
+"""EXP-J bench: breakdown utilization across algorithms."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_breakdown(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-J", samples=8, seed=0, quick=True)
+    )
+    table = tables[0]
+    means = dict(zip(table.column("algorithm"), table.column("mean")))
+    # Federation's raison d'etre: it sustains strictly more load than the
+    # fully-partitioned approach on identical instances.
+    assert means["FEDCONS"] > means["PARTITIONED"]
+    # The scaling search always terminates (densities shrink with speed).
+    assert all(n == 0 for n in table.column("never accepts"))
+    show(tables)

@@ -1,0 +1,19 @@
+"""EXP-D bench: acceptance across DAG-structure families."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_dag_shape(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-D", samples=20, seed=0, quick=True)
+    )
+    table = tables[0]
+    labels = table.column("DAG family")
+    light = table.column("U/m=0.4")
+    by_label = dict(zip(labels, light))
+    # Chain-like (dense-edge) DAGs accept at least as often as the most
+    # parallel ones at the same load (they stay low-density).
+    assert by_label["Erdos-Renyi p=0.8 (chain-like)"] >= (
+        by_label["Erdos-Renyi p=0.05 (parallel)"] - 0.1
+    )
+    show(tables)

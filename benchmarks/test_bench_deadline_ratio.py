@@ -1,0 +1,15 @@
+"""EXP-C bench: acceptance vs deadline tightness."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_deadline_ratio(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-C", samples=20, seed=0, quick=True)
+    )
+    table = tables[0]
+    # At a moderate load, tightening deadlines can only hurt: the tight end
+    # accepts no more than the implicit end.
+    mid_load = table.column("U/m=0.5")
+    assert mid_load[0] <= mid_load[-1] + 0.15
+    show(tables)

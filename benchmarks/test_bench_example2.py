@@ -1,0 +1,20 @@
+"""EX2 bench: Example 2's unbounded capacity-augmentation witness."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_example2(benchmark, show):
+    tables = benchmark(lambda: run_experiment("EX2", quick=True))
+    table = tables[0]
+    sizes = table.column("n")
+    required = table.column("required speed (analytic)")
+    measured = table.column("FEDCONS min speed (measured)")
+    # Premises of Definition 2 hold at every n ...
+    assert all(table.column("Def.2 premise (U_sum<=m, len<=D)?"))
+    # ... yet the required speed grows linearly in n (no constant bound).
+    for n, req, meas in zip(sizes, required, measured):
+        assert req == pytest.approx(float(n))
+        assert meas == pytest.approx(req, rel=1e-2)
+    show(tables)

@@ -1,0 +1,16 @@
+"""FIG1 bench: regenerate the paper's Figure 1 / Example 1 artifact."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_fig1(benchmark, show):
+    tables = benchmark(lambda: run_experiment("FIG1"))
+    quantities, schedules = tables
+    measured = dict(zip(quantities.column("quantity"), quantities.column("measured")))
+    # The paper's stated values, exactly.
+    assert measured["len"] == 6
+    assert measured["vol"] == 9
+    assert measured["high-density?"] is False
+    # LS meets D = 16 at every cluster size.
+    assert all(schedules.column("meets D=16?"))
+    show(tables)

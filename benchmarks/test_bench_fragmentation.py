@@ -1,0 +1,22 @@
+"""EXP-O bench: dedicated-cluster capacity fragmentation."""
+
+import math
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_fragmentation(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-O", samples=10, seed=0, quick=True)
+    )
+    table = tables[0]
+    for row in table.rows:
+        _, clusters, _, used, template_idle, duty_idle = row
+        if clusters == 0:
+            continue
+        # The decomposition is exact: the three fractions partition the
+        # granted capacity.
+        assert math.isclose(used + template_idle + duty_idle, 1.0, abs_tol=1e-6)
+        # Inter-job idle is the dominant loss on this workload model.
+        assert duty_idle > template_idle
+    show(tables)

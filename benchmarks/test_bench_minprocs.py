@@ -1,0 +1,18 @@
+"""LEM1 bench: MINPROCS cluster sizes vs lower bounds and exhaustive optima."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_minprocs(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("LEM1", samples=25, seed=0, quick=True)
+    )
+    ratios, exact = tables
+    # LS never needs more than (2 - 1/m)x the makespan lower bound (Lemma 1).
+    for row in ratios.rows:
+        assert row[5] <= 2.0  # mean LS/LB makespan < 2 always
+    # On small instances MINPROCS almost always matches the true optimum.
+    total = exact.rows[0][0]
+    optimal = exact.rows[0][1]
+    assert optimal >= 0.7 * total
+    show(tables)

@@ -1,0 +1,16 @@
+"""EXP-K bench: preemption-overhead robustness."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_overhead(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-K", samples=5, seed=0, quick=True)
+    )
+    table = tables[0]
+    survival = table.column("miss-free systems")
+    # Zero overhead is guaranteed miss-free; survival decays monotonically
+    # as overhead grows.
+    assert survival[0] == 1.0
+    assert all(a >= b - 1e-9 for a, b in zip(survival, survival[1:]))
+    show(tables)

@@ -1,0 +1,19 @@
+"""LEM2 bench: PARTITION admission-test comparison on low-density systems."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_partition(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("LEM2", samples=15, seed=0, quick=True)
+    )
+    table = tables[0]
+    dbf_col = table.column("DBF* (paper)")
+    exact_col = table.column("exact EDF admission")
+    density_col = table.column("density admission")
+    for dbf, exact, dens in zip(dbf_col, exact_col, density_col):
+        # Exact admission accepts at least as much as DBF*, which accepts at
+        # least as much as the density test (the orderings Lemma 2 implies).
+        assert exact >= dbf - 1e-9
+        assert dbf >= dens - 1e-9
+    show(tables)

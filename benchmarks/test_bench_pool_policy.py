@@ -1,0 +1,19 @@
+"""EXP-I bench: shared-pool policy ablation (EDF vs DM fixed priority)."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_pool_policy(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-I", samples=20, seed=0, quick=True)
+    )
+    table = tables[0]
+    edf = table.column("EDF + DBF* (paper)")
+    dm_exact = table.column("DM + exact RTA")
+    dm_rbf = table.column("DM + linear RBF")
+    # Like-for-like approximate comparison: EDF+DBF* >= DM+RBF throughout
+    # (up to small sampling noise).
+    assert all(e >= r - 0.1 for e, r in zip(edf, dm_rbf))
+    # The exact DM admission dominates its own approximation.
+    assert all(x >= r - 1e-9 for x, r in zip(dm_exact, dm_rbf))
+    show(tables)

@@ -1,0 +1,18 @@
+"""EXP-L bench: reservation-hosted pool budget premium."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_reservation(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-L", samples=6, seed=0, quick=True)
+    )
+    table = tables[0]
+    fits = table.column("plans that fit")
+    premiums = table.column("mean premium")
+    # Invariant: every bucket is hostable (full budget == dedicated proc).
+    assert all(f == 1.0 for f in fits)
+    # The premium grows monotonically with the server period.
+    assert all(a <= b + 1e-9 for a, b in zip(premiums, premiums[1:]))
+    assert all(p >= 0 for p in premiums)
+    show(tables)

@@ -1,0 +1,14 @@
+"""EXP-N bench: analytic response-time headroom."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_response(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-N", samples=10, seed=0, quick=True)
+    )
+    table = tables[0]
+    # Acceptance is a deadline guarantee: every response bound fits.
+    assert all(v <= 1.0 + 1e-9 for v in table.column("max WCRT/D"))
+    assert all(v <= 1.0 + 1e-9 for v in table.column("p95 WCRT/D (all)"))
+    show(tables)

@@ -1,0 +1,36 @@
+"""EXP-G bench: raw FEDCONS analysis latency (the pytest-benchmark numbers
+are the artifact here; the EXP-G tables add the scaling curves)."""
+
+import numpy as np
+
+from repro.core.fedcons import fedcons
+from repro.experiments.runner import run_experiment
+from repro.generation.tasksets import SystemConfig, generate_system
+
+
+def test_bench_fedcons_analysis_latency(benchmark):
+    cfg = SystemConfig(tasks=32, processors=16, normalized_utilization=0.5)
+    systems = [
+        generate_system(cfg, np.random.default_rng(i)) for i in range(10)
+    ]
+    state = {"i": 0}
+
+    def analyse():
+        system = systems[state["i"] % len(systems)]
+        state["i"] += 1
+        return fedcons(system, 16)
+
+    benchmark(analyse)
+
+
+def test_bench_runtime_scaling_tables(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-G", samples=3, seed=0, quick=True)
+    )
+    by_tasks, by_vertices = tables
+    # Sub-second analysis across the whole sweep (complexity is polynomial).
+    assert all(t < 1000.0 for t in by_tasks.column("mean analysis time (ms)"))
+    assert all(
+        t < 1000.0 for t in by_vertices.column("mean analysis time (ms)")
+    )
+    show(tables)

@@ -1,0 +1,17 @@
+"""EXP-E bench: simulation cross-validation of FEDCONS acceptances."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_simulation(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-E", samples=4, seed=0, quick=True)
+    )
+    table = tables[0]
+    # The hard guarantee: zero deadline misses under every scenario.
+    assert all(m == 0 for m in table.column("deadline misses"))
+    # And the analysis is not vacuous: some dag-jobs actually ran.
+    assert all(r > 0 for r in table.column("dag-jobs released"))
+    # Responses stay within deadlines (ratio <= 1).
+    assert all(r <= 1.0 + 1e-9 for r in table.column("max response / deadline"))
+    show(tables)

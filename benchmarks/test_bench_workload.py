@@ -1,0 +1,21 @@
+"""EXP-M bench: workload characterization."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_workload(benchmark, show):
+    tables = benchmark(
+        lambda: run_experiment("EXP-M", samples=20, seed=0, quick=True)
+    )
+    table = tables[0]
+    shares = table.column("high-density share")
+    densities = table.column("mean density")
+    # Tighter deadlines mean strictly denser tasks (monotone decline across
+    # the ordered ranges).
+    assert shares == sorted(shares, reverse=True)
+    assert densities == sorted(densities, reverse=True)
+    # Structural parallelism is deadline-independent: tight vs implicit
+    # vol/len agree within sampling noise.
+    parallelism = table.column("mean vol/len")
+    assert abs(parallelism[0] - parallelism[-1]) < 0.3
+    show(tables)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Graham's timing anomaly, and why FEDCONS replays templates.
+
+The paper (footnote 2) stores each high-density task's List-Scheduling
+schedule as a lookup table because re-running LS online is *unsafe*: jobs
+finishing early can make a naively re-scheduled DAG take **longer**.  This
+example shows the classic anomaly instance, then demonstrates that the
+template-replay dispatcher is immune: with the same early completions, every
+job still starts at its template time and the makespan can only shrink.
+
+Run:  python examples/anomaly_demo.py
+"""
+
+import numpy as np
+
+from repro import SporadicDAGTask, TaskSystem, fedcons
+from repro.core import graham_anomaly_instance, list_schedule
+from repro.sim import (
+    ExecutionTimeModel,
+    ReleasePattern,
+    simulate_deployment,
+)
+
+
+def main() -> None:
+    dag, dag_reduced, priority, m = graham_anomaly_instance()
+
+    s_full = list_schedule(dag, m, order=priority)
+    s_reduced = list_schedule(dag_reduced, m, order=priority)
+    print(f"LS on {m} processors, full WCETs     : makespan {s_full.makespan:g}")
+    print(s_full.as_gantt_text(width=48))
+    print()
+    print(
+        f"LS re-run with every job 1 unit FASTER: makespan {s_reduced.makespan:g}"
+        "  <-- LONGER!"
+    )
+    print(s_reduced.as_gantt_text(width=48))
+    print()
+    assert s_reduced.makespan > s_full.makespan, "the anomaly"
+
+    # Wrap the anomaly DAG in a task whose deadline the full-WCET template
+    # meets, but which the anomalous re-run would miss.
+    deadline = s_full.makespan  # 12: tight against the template
+    task = SporadicDAGTask(dag, deadline=deadline, period=20.0, name="anomalous")
+    deployment = fedcons(TaskSystem([task]), m)
+    assert deployment.success
+    print(
+        f"FEDCONS admits the task with D = {deadline:g} using the stored "
+        "template."
+    )
+
+    # Execute with the *reduced* execution times (each job 1 unit early).
+    # A re-running dispatcher would take 13 > 12 and miss; template replay
+    # keeps every start time and finishes early everywhere.
+    report = simulate_deployment(
+        deployment,
+        horizon=200.0,
+        rng=np.random.default_rng(0),
+        pattern=ReleasePattern.PERIODIC,
+        exec_model=ExecutionTimeModel.UNIFORM_FRACTION,
+        fraction_range=(0.6, 0.9),  # strictly early completions
+    )
+    print(report.describe())
+    assert report.ok, "template replay is anomaly-proof"
+    print("\nno deadline miss despite early completions: anomaly neutralised.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Hierarchical deployment: hosting the shared pool in periodic reservations.
+
+A DAG workload certified by FEDCONS must often share its platform with other
+(e.g. legacy) software.  The component-based answer wraps each shared-pool
+processor's task set in a periodic reservation ``(Pi, Theta)``: the host
+kernel guarantees ``Theta`` units of supply per ``Pi``, and inside that
+supply the bucket runs EDF exactly as FEDCONS planned.  This example:
+
+1. deploys a workload with FEDCONS;
+2. sizes minimal-budget reservations for the pool at several server periods,
+   showing the budget premium the supply uncertainty costs;
+3. reports per-task worst-case response bounds for the dedicated clusters
+   (template makespans) and the pool (Spuri's exact EDF analysis on the
+   owned-processor baseline);
+4. shows the leftover host capacity available to non-realtime software.
+
+Run:  python examples/hierarchical_reservations.py
+"""
+
+from repro import DAG, SporadicDAGTask, TaskSystem, fedcons
+from repro.analysis import deployment_response_bounds
+from repro.extensions import plan_reservations
+
+
+def build_system() -> TaskSystem:
+    radar = SporadicDAGTask(
+        DAG.fork_join([3.0, 3.0, 3.0], source_wcet=1.0, sink_wcet=1.0),
+        deadline=7.0,
+        period=12.0,
+        name="radar_fusion",
+    )
+    tracker = SporadicDAGTask(
+        DAG.chain([1.0, 1.5]), deadline=8.0, period=15.0, name="tracker"
+    )
+    comms = SporadicDAGTask(
+        DAG.single_vertex(2.0), deadline=10.0, period=20.0, name="comms"
+    )
+    logger = SporadicDAGTask(
+        DAG.chain([0.5, 0.5]), deadline=25.0, period=40.0, name="logger"
+    )
+    return TaskSystem([radar, tracker, comms, logger])
+
+
+def main() -> None:
+    system = build_system()
+    deployment = fedcons(system, processors=4)
+    assert deployment.success
+    print(deployment.describe())
+    print()
+
+    print("worst-case response bounds (owned processors):")
+    bounds = deployment_response_bounds(deployment)
+    for task in system:
+        print(
+            f"  {task.name:<14} WCRT {bounds[task.name]:6.2f}  "
+            f"(deadline {task.deadline:g})"
+        )
+    print()
+
+    print("reservation sizing for the shared pool:")
+    for fraction in (0.1, 0.25, 0.5):
+        plan = plan_reservations(deployment, period_fraction=fraction)
+        assert plan.success
+        print(f"- server period = {fraction:.0%} of tightest pool deadline:")
+        for line in plan.describe().splitlines():
+            print(f"    {line}")
+        leftover = len(plan.reservations) - plan.total_rate
+        print(
+            f"    host capacity left on pool processors for other software: "
+            f"{leftover:.3f} processors\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

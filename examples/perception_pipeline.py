@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Autonomous-driving perception: sizing a multicore for parallel pipelines.
+
+The motivating workload of the parallel real-time literature: camera/lidar
+perception DAGs whose volume far exceeds what one core can deliver within
+the frame deadline.  This example:
+
+1. builds two perception pipelines (camera @ 30 fps, lidar @ 10 Hz) plus
+   planning and housekeeping tasks;
+2. asks, for each platform size m, which scheduling approaches admit the
+   system -- reproducing in miniature the paper's comparison; and
+3. shows how FEDCONS's processor budget splits between dedicated clusters
+   and the shared pool as the deadline tightens (a what-if sweep a system
+   architect would actually run).
+
+Run:  python examples/perception_pipeline.py
+"""
+
+from repro import DAG, SporadicDAGTask, TaskSystem, fedcons
+from repro.baselines import gedf_any_test, partitioned_sequential
+
+
+def camera_dag() -> DAG:
+    """Capture -> 4-way tiled detection -> NMS -> tracking, plus a lane
+    branch joining at fusion."""
+    wcets = {
+        "capture": 2.0,
+        "tile0": 7.0,
+        "tile1": 7.0,
+        "tile2": 7.0,
+        "tile3": 7.0,
+        "nms": 2.0,
+        "lanes": 6.0,
+        "track": 3.0,
+        "fusion": 1.5,
+    }
+    edges = [
+        ("capture", "tile0"),
+        ("capture", "tile1"),
+        ("capture", "tile2"),
+        ("capture", "tile3"),
+        ("tile0", "nms"),
+        ("tile1", "nms"),
+        ("tile2", "nms"),
+        ("tile3", "nms"),
+        ("capture", "lanes"),
+        ("nms", "track"),
+        ("track", "fusion"),
+        ("lanes", "fusion"),
+    ]
+    return DAG(wcets, edges)
+
+
+def lidar_dag() -> DAG:
+    """Sweep assembly -> 3 parallel segmentations -> clustering."""
+    return DAG(
+        wcets={
+            "assemble": 5.0,
+            "seg0": 12.0,
+            "seg1": 12.0,
+            "seg2": 12.0,
+            "cluster": 6.0,
+        },
+        edges=[
+            ("assemble", "seg0"),
+            ("assemble", "seg1"),
+            ("assemble", "seg2"),
+            ("seg0", "cluster"),
+            ("seg1", "cluster"),
+            ("seg2", "cluster"),
+        ],
+    )
+
+
+def build_system(camera_deadline: float = 25.0) -> TaskSystem:
+    camera = SporadicDAGTask(
+        camera_dag(), deadline=camera_deadline, period=33.3, name="camera"
+    )
+    lidar = SporadicDAGTask(lidar_dag(), deadline=80.0, period=100.0, name="lidar")
+    planner = SporadicDAGTask(
+        DAG.chain([4.0, 3.0]), deadline=40.0, period=50.0, name="planner"
+    )
+    can_bus = SporadicDAGTask(
+        DAG.single_vertex(0.5), deadline=5.0, period=10.0, name="can_bus"
+    )
+    logger = SporadicDAGTask(
+        DAG.chain([1.0, 1.0]), deadline=90.0, period=100.0, name="logger"
+    )
+    return TaskSystem([camera, lidar, planner, can_bus, logger])
+
+
+def main() -> None:
+    system = build_system()
+    print(system.describe())
+    print()
+
+    print(f"{'m':>3} | {'FEDCONS':^8} | {'global EDF':^10} | {'partitioned':^11}")
+    print("-" * 42)
+    for m in range(1, 9):
+        fed = fedcons(system, m).success
+        gedf = gedf_any_test(system, m)
+        part = partitioned_sequential(system, m).success
+        row = lambda ok: "yes" if ok else "-"
+        print(f"{m:>3} | {row(fed):^8} | {row(gedf):^10} | {row(part):^11}")
+    print()
+
+    # Architect's what-if: how does the camera deadline drive the budget?
+    print("camera deadline sweep on m = 6 (dedicated + shared processors):")
+    for deadline in (33.3, 30.0, 25.0, 20.0, 16.0, 13.0):
+        sys_d = build_system(camera_deadline=deadline)
+        deployment = fedcons(sys_d, 6)
+        if deployment.success:
+            print(
+                f"  D_camera = {deadline:>5.1f} ms: ACCEPTED  "
+                f"(dedicated {deployment.dedicated_processor_count}, "
+                f"shared {deployment.shared_processor_count})"
+            )
+        else:
+            print(
+                f"  D_camera = {deadline:>5.1f} ms: REJECTED in "
+                f"{deployment.reason.value}"
+            )
+
+
+if __name__ == "__main__":
+    main()

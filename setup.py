@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (PEP 660 editable builds need it; the legacy develop path does not).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""Feasibility bounds, makespan optima, and speedup accounting."""
+
+from repro.analysis.feasibility import (
+    FeasibilityCheck,
+    necessary_conditions,
+    necessary_speed_bound,
+    system_load,
+)
+from repro.analysis.makespan import (
+    graham_makespan_bound,
+    ls_speedup_witness_ratio,
+    makespan_lower_bound,
+    optimal_makespan,
+    processors_lower_bound,
+)
+from repro.analysis.periodic_oracle import hyperperiod, periodic_edf_oracle
+from repro.analysis.response_time import (
+    deployment_response_bounds,
+    edf_worst_case_response,
+    synchronous_busy_period,
+)
+from repro.analysis.resource_model import (
+    edf_schedulable_under_supply,
+    linear_supply_bound,
+    minimum_budget,
+    supply_bound,
+)
+from repro.analysis.sensitivity import (
+    SlackReport,
+    bottleneck_task,
+    minimum_platform,
+    system_scaling_slack,
+    task_scaling_slack,
+)
+from repro.analysis.speedup import (
+    empirical_speedup_factor,
+    minimum_accepting_speed,
+    example2_required_speed,
+    example2_system,
+    minimum_fedcons_speed,
+    theorem1_bound,
+)
+
+__all__ = [
+    "FeasibilityCheck",
+    "necessary_conditions",
+    "necessary_speed_bound",
+    "system_load",
+    "optimal_makespan",
+    "makespan_lower_bound",
+    "graham_makespan_bound",
+    "ls_speedup_witness_ratio",
+    "processors_lower_bound",
+    "theorem1_bound",
+    "example2_system",
+    "example2_required_speed",
+    "minimum_fedcons_speed",
+    "minimum_accepting_speed",
+    "empirical_speedup_factor",
+    "minimum_platform",
+    "task_scaling_slack",
+    "system_scaling_slack",
+    "bottleneck_task",
+    "SlackReport",
+    "supply_bound",
+    "linear_supply_bound",
+    "edf_schedulable_under_supply",
+    "minimum_budget",
+    "hyperperiod",
+    "periodic_edf_oracle",
+    "edf_worst_case_response",
+    "synchronous_busy_period",
+    "deployment_response_bounds",
+]

@@ -1,0 +1,142 @@
+"""Necessary feasibility conditions and load bounds for DAG task systems.
+
+No exact feasibility test for multiprocessor sporadic DAG systems is
+practical (the problem subsumes strongly NP-hard subproblems -- Section III).
+The experiments instead compare algorithms against *necessary* conditions:
+any system violating one of these is infeasible on ``m`` unit-speed
+processors under **any** scheduler, federated or not:
+
+``len_i <= D_i``
+    the critical path alone exceeds the deadline otherwise;
+``U_sum <= m``
+    long-run demand cannot exceed platform capacity;
+``LOAD <= m``
+    the demand-bound load (with each dag-job's total work ``vol_i`` as
+    demand) must fit the platform's supply in every interval;
+``m_i^lb <= m``
+    every single task must fit the platform on its own
+    (``m_i^lb = ceil(vol_i / D_i)``, the work-in-window bound).
+
+The infimum speed at which all conditions hold, `necessary_speed_bound`, is
+the reference point for the empirical speedup-factor experiments (THM1): an
+optimal scheduler needs at least that speed, so
+``s_FEDCONS / s_necessary`` upper-bounds FEDCONS's true speedup factor on
+that instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.core.dbf import demand_breakpoints, testing_interval_bound
+from repro.model.taskset import TaskSystem
+
+__all__ = [
+    "FeasibilityCheck",
+    "necessary_conditions",
+    "system_load",
+    "necessary_speed_bound",
+]
+
+
+@dataclass(frozen=True)
+class FeasibilityCheck:
+    """Result of evaluating the necessary conditions on ``m`` processors."""
+
+    feasible_maybe: bool
+    structural_ok: bool  # len_i <= D_i for all i
+    utilization_ok: bool  # U_sum <= m
+    load_ok: bool  # LOAD <= m
+    per_task_ok: bool  # every task fits m processors alone
+    load: float
+    utilization: float
+
+    def __bool__(self) -> bool:
+        return self.feasible_maybe
+
+
+def system_load(system: TaskSystem, resolution: int = 4096) -> float:
+    """``LOAD(tau) = max_t (sum_i dbf_i(t)) / t`` with ``C_i = vol_i``.
+
+    ``dbf`` here is the three-parameter demand bound function of each task's
+    sequentialised form; a dag-job's full ``vol_i`` must execute inside any
+    window containing both its release and deadline regardless of scheduler,
+    so ``LOAD <= m`` is necessary for feasibility on ``m`` unit-speed
+    processors.
+
+    The supremum over ``t`` is evaluated at demand breakpoints within the
+    standard testing-interval bound; when utilization is too high for that
+    bound to be finite, the first *resolution* breakpoints are used (the load
+    is already >= U_sum, which the caller checks separately).
+    """
+    sporadic = [t.to_sporadic() for t in system]
+    utilization = sum(t.utilization for t in sporadic)
+    horizon = testing_interval_bound(sporadic)
+    points = demand_breakpoints(sporadic, horizon)
+    if len(points) > resolution:
+        points = points[:resolution]
+    best = utilization
+    for t in points:
+        demand = sum(task.dbf(t) for task in sporadic)
+        best = max(best, demand / t)
+    return best
+
+
+def necessary_conditions(system: TaskSystem, processors: int) -> FeasibilityCheck:
+    """Evaluate every necessary condition for feasibility on *processors*.
+
+    ``feasible_maybe=True`` does **not** imply the system is feasible -- only
+    that no necessary condition rules it out.
+    """
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    structural = all(t.span <= t.deadline + 1e-12 for t in system)
+    utilization = system.total_utilization
+    util_ok = utilization <= processors + 1e-9
+    load = system_load(system) if structural else math.inf
+    load_ok = load <= processors + 1e-9
+    per_task = True
+    if structural:
+        for task in system:
+            if task.deadline == task.span and task.volume > task.span + 1e-12:
+                per_task = False
+                break
+            if task.minimum_processors_lower_bound() > processors:
+                per_task = False
+                break
+    else:
+        per_task = False
+    return FeasibilityCheck(
+        feasible_maybe=structural and util_ok and load_ok and per_task,
+        structural_ok=structural,
+        utilization_ok=util_ok,
+        load_ok=load_ok,
+        per_task_ok=per_task,
+        load=load,
+        utilization=utilization,
+    )
+
+
+def necessary_speed_bound(system: TaskSystem, processors: int) -> float:
+    """The infimum speed at which the necessary conditions can hold.
+
+    Speeding processors up by ``s`` divides every WCET by ``s``, hence::
+
+        structural:   s >= len_i / D_i                       for each i
+        utilization:  s >= U_sum / m
+        load:         s >= LOAD / m
+        per-task:     s >= vol_i / (m * D_i)
+
+    Any scheduler (optimal and clairvoyant included) needs at least this
+    speed on *processors* processors.
+    """
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    bound = system.total_utilization / processors
+    bound = max(bound, system_load(system) / processors)
+    for task in system:
+        bound = max(bound, task.span / task.deadline)
+        bound = max(bound, task.volume / (processors * task.deadline))
+    return bound

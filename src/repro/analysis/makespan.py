@@ -1,0 +1,166 @@
+"""Makespan bounds and exact optima for a single DAG on identical processors.
+
+Scheduling one constrained-deadline dag-job on a dedicated cluster is the
+makespan-minimisation problem for precedence-constrained jobs (Section IV-A);
+it is strongly NP-hard even with a ``4/3 - eps`` speedup [Lenstra & Rinnooy
+Kan 1978].  This module provides the two classic lower bounds, Graham's upper
+bound, and an exact branch-and-bound optimum for the small instances used to
+validate Lemma 1 in the test-suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import AnalysisError
+from repro.core.list_scheduling import (
+    graham_makespan_bound,
+    list_schedule,
+    makespan_lower_bound,
+)
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+
+__all__ = [
+    "makespan_lower_bound",
+    "graham_makespan_bound",
+    "optimal_makespan",
+    "ls_speedup_witness_ratio",
+    "processors_lower_bound",
+]
+
+_BRUTE_FORCE_LIMIT = 12
+
+
+def processors_lower_bound(task: SporadicDAGTask) -> int:
+    """Processors *any* scheduler needs to meet the task's deadline.
+
+    Delegates to
+    :meth:`repro.model.SporadicDAGTask.minimum_processors_lower_bound`:
+    ``ceil(vol_i / D_i)`` (valid only when ``len_i <= D_i``).
+    """
+    return task.minimum_processors_lower_bound()
+
+
+def optimal_makespan(dag: DAG, processors: int) -> float:
+    """Exact minimum non-preemptive makespan, by branch-and-bound.
+
+    Explores all *semi-active* schedules (every job starts at time zero or at
+    some completion instant; deliberate idling allowed).  Any feasible
+    schedule can be left-shifted into a semi-active one without increasing
+    the makespan, so the optimum is attained in this class.
+
+    Exponential in ``|V|``; refuses DAGs larger than 12 vertices.  Intended
+    as the ground-truth oracle for Lemma 1 experiments, not production use.
+
+    Raises
+    ------
+    AnalysisError
+        If the DAG has more than 12 vertices or *processors* < 1.
+    """
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    n = len(dag)
+    if n > _BRUTE_FORCE_LIMIT:
+        raise AnalysisError(
+            f"optimal_makespan is exponential; refusing |V|={n} > "
+            f"{_BRUTE_FORCE_LIMIT}"
+        )
+    vertices = list(dag.vertices)
+    index = {v: i for i, v in enumerate(vertices)}
+    wcet = [dag.wcet(v) for v in vertices]
+    preds_mask = [0] * n
+    for u, v in dag.edges:
+        preds_mask[index[v]] |= 1 << index[u]
+
+    # Prime with the LS solution as the incumbent upper bound.
+    best = list_schedule(dag, processors).makespan
+    full = (1 << n) - 1
+    lower_static = makespan_lower_bound(dag, processors)
+    if best <= lower_static + 1e-12:
+        return best
+
+    # State: current time, bitmask of completed jobs, tuple of (end, job)
+    # for running jobs.  Branch on the subset of ready jobs started now.
+    seen: dict[tuple[int, tuple[tuple[float, int], ...]], float] = {}
+
+    def remaining_lower_bound(done: int, running: tuple[tuple[float, int], ...],
+                              now: float) -> float:
+        running_mask = 0
+        for _, j in running:
+            running_mask |= 1 << j
+        rem_work = sum(
+            wcet[i]
+            for i in range(n)
+            if not (done >> i) & 1 and not (running_mask >> i) & 1
+        )
+        rem_work += sum(max(0.0, end - now) for end, _ in running)
+        return now + rem_work / processors
+
+    def search(now: float, done: int, running: tuple[tuple[float, int], ...]) -> None:
+        nonlocal best
+        key = (done, tuple((round(end - now, 9), j) for end, j in running))
+        prev = seen.get(key)
+        if prev is not None and prev <= now + 1e-12:
+            return
+        seen[key] = now
+        if done == full:
+            best = min(best, now)
+            return
+        if remaining_lower_bound(done, running, now) >= best - 1e-12:
+            return
+        running_mask = 0
+        for _, j in running:
+            running_mask |= 1 << j
+        ready = [
+            i
+            for i in range(n)
+            if not (done >> i) & 1
+            and not (running_mask >> i) & 1
+            and (preds_mask[i] & done) == preds_mask[i]
+        ]
+        idle = processors - len(running)
+        started_any = False
+        if ready and idle > 0:
+            k_max = min(idle, len(ready))
+            for k in range(k_max, 0, -1):
+                for subset in combinations(ready, k):
+                    started_any = True
+                    new_running = running + tuple(
+                        (now + wcet[i], i) for i in subset
+                    )
+                    advance(now, done, new_running)
+        # Also allow starting nothing (deliberate idling) if work is in flight.
+        if running:
+            advance(now, done, running)
+        elif not started_any:
+            # Nothing running and nothing started: dead end (cannot make
+            # progress), only reachable if ready is empty, which would mean a
+            # cycle -- impossible for a DAG.
+            return
+
+    def advance(now: float, done: int, running: tuple[tuple[float, int], ...]) -> None:
+        if not running:
+            return
+        t_next = min(end for end, _ in running)
+        new_done = done
+        still = []
+        for end, j in running:
+            if end <= t_next + 1e-12:
+                new_done |= 1 << j
+            else:
+                still.append((end, j))
+        search(t_next, new_done, tuple(sorted(still)))
+
+    search(0.0, 0, ())
+    return best
+
+
+def ls_speedup_witness_ratio(dag: DAG, processors: int) -> float:
+    """``LS makespan / max(len, vol/m)`` -- the measured LS speedup factor.
+
+    Lemma 1 guarantees this never exceeds ``2 - 1/m``; experiments report its
+    empirical distribution.
+    """
+    ls = list_schedule(dag, processors).makespan
+    return ls / makespan_lower_bound(dag, processors)

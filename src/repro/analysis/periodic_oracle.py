@@ -1,0 +1,91 @@
+"""Hyperperiod-exact schedulability oracle for periodic task sets.
+
+For *synchronous periodic* task sets with integer periods, simulating
+preemptive EDF over one hyperperiod plus the largest deadline from the
+synchronous start yields an **exact** uniprocessor verdict: the synchronous
+pattern maximises demand in every window (Baruah-Mok-Rosier), and the
+schedule repeats with the hyperperiod once the (possibly idle-containing)
+prefix has been checked.
+
+This module is a *cross-validation* tool: it lets the test-suite confirm the
+analytic processor-demand criterion (:func:`repro.core.dbf.edf_exact_test`)
+against an independently-computed ground truth on integer instances, and
+gives users an oracle for small periodic systems.  It intentionally refuses
+non-integer periods (the hyperperiod argument needs a finite lcm).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.model.sporadic import SporadicTask
+from repro.sim.trace import Trace
+from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+
+__all__ = ["hyperperiod", "periodic_edf_oracle"]
+
+_HYPERPERIOD_LIMIT = 10_000_000
+
+
+def hyperperiod(tasks: Sequence[SporadicTask]) -> int:
+    """The lcm of all (integer) task periods.
+
+    Raises
+    ------
+    AnalysisError
+        If any period is non-integer, or the lcm exceeds the safety limit
+        (10^7) -- wildly co-prime periods make hyperperiod methods useless,
+        which the caller should learn explicitly rather than by hanging.
+    """
+    if not tasks:
+        return 1
+    result = 1
+    for task in tasks:
+        period = task.period
+        if abs(period - round(period)) > 1e-9:
+            raise AnalysisError(
+                f"hyperperiod requires integer periods; task "
+                f"{task.name or task!r} has T = {period!r}"
+            )
+        result = math.lcm(result, int(round(period)))
+        if result > _HYPERPERIOD_LIMIT:
+            raise AnalysisError(
+                f"hyperperiod exceeds {_HYPERPERIOD_LIMIT}; periods too "
+                "co-prime for hyperperiod analysis"
+            )
+    return result
+
+
+def periodic_edf_oracle(tasks: Sequence[SporadicTask]) -> bool:
+    """Exact EDF verdict for the synchronous periodic interpretation of *tasks*.
+
+    Simulates preemptive EDF from the synchronous start over one hyperperiod
+    plus the largest relative deadline and reports whether any job missed.
+    For constrained-deadline sporadic sets this coincides with sporadic EDF
+    feasibility (the synchronous periodic pattern is the worst case); the
+    test-suite asserts agreement with the analytic demand-bound criterion.
+    """
+    if not tasks:
+        return True
+    if sum(t.utilization for t in tasks) > 1.0 + 1e-9:
+        return False
+    span = hyperperiod(tasks) + math.ceil(max(t.deadline for t in tasks))
+    jobs: list[SequentialJob] = []
+    for i, task in enumerate(tasks):
+        name = task.name or f"task#{i}"
+        release = 0.0
+        while release < span:
+            jobs.append(
+                SequentialJob(
+                    task=name,
+                    release=release,
+                    absolute_deadline=release + task.deadline,
+                    execution_time=task.wcet,
+                )
+            )
+            release += task.period
+    trace = Trace(record_executions=False)
+    simulate_uniprocessor_edf(jobs, trace, processor=0)
+    return not trace.misses

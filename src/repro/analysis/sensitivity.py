@@ -1,0 +1,176 @@
+"""Sensitivity analysis on accepted FEDCONS deployments.
+
+Tools a system designer runs after (or while) sizing a platform:
+
+:func:`minimum_platform`
+    the smallest ``m`` on which FEDCONS admits the system (the platform-
+    sizing question of the examples);
+:func:`task_scaling_slack`
+    per-task robustness -- the largest factor by which one task's WCETs can
+    grow with the system still admitted (binary search; exact up to
+    tolerance because FEDCONS acceptance is monotone in a single task's
+    uniform WCET scaling);
+:func:`system_scaling_slack`
+    the same for a uniform growth of *every* task (the reciprocal of
+    :func:`repro.analysis.speedup.minimum_fedcons_speed`);
+:func:`bottleneck_task`
+    which task caps the system's slack -- the designer's "what should I
+    optimise first" answer.
+
+Everything here is built by re-running the (sound) admission test, so the
+answers inherit its guarantees: a reported slack is always safe to consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.core.fedcons import fedcons
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+__all__ = [
+    "minimum_platform",
+    "task_scaling_slack",
+    "system_scaling_slack",
+    "bottleneck_task",
+    "SlackReport",
+]
+
+
+def _with_task_scaled(
+    system: TaskSystem, index: int, factor: float
+) -> TaskSystem:
+    """*system* with task *index*'s WCETs multiplied by *factor*."""
+    tasks = list(system)
+    target = tasks[index]
+    tasks[index] = SporadicDAGTask(
+        dag=target.dag.scaled(1.0 / factor),  # scaled() divides; invert
+        deadline=target.deadline,
+        period=target.period,
+        name=target.name,
+    )
+    return TaskSystem(tasks)
+
+
+def minimum_platform(
+    system: TaskSystem, max_processors: int = 1024
+) -> int | None:
+    """Smallest ``m`` with ``fedcons(system, m).success``; None if none
+    exists up to *max_processors*.
+
+    FEDCONS acceptance is monotone in ``m`` (more processors never hurt
+    either phase), so binary search is valid once any accepting ``m`` is
+    found.
+    """
+    if max_processors < 1:
+        raise AnalysisError(f"max_processors must be >= 1, got {max_processors}")
+    if fedcons(system, 1).success:
+        return 1
+    lo, hi = 1, 2
+    while hi <= max_processors and not fedcons(system, hi).success:
+        lo = hi
+        hi *= 2
+    if hi > max_processors:
+        if fedcons(system, max_processors).success:
+            hi = max_processors
+        else:
+            return None
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if fedcons(system, mid).success:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def task_scaling_slack(
+    system: TaskSystem,
+    processors: int,
+    task_index: int,
+    tolerance: float = 1e-3,
+    max_factor: float = 1024.0,
+) -> float:
+    """Largest WCET-growth factor for one task keeping the system admitted.
+
+    Returns a factor ``>= 1`` (the system must be admitted at factor 1, else
+    :class:`AnalysisError`); ``math.inf`` if growth up to *max_factor* never
+    breaks admission (possible for very light tasks on large platforms).
+    """
+    if not 0 <= task_index < len(system):
+        raise AnalysisError(f"task index {task_index} out of range")
+    if not fedcons(system, processors).success:
+        raise AnalysisError(
+            "system must be admitted at its nominal WCETs before slack "
+            "analysis"
+        )
+
+    def admitted(factor: float) -> bool:
+        return fedcons(
+            _with_task_scaled(system, task_index, factor), processors
+        ).success
+
+    lo, hi = 1.0, 2.0
+    while hi <= max_factor and admitted(hi):
+        lo = hi
+        hi *= 2.0
+    if hi > max_factor:
+        return math.inf
+    while hi - lo > tolerance * lo:
+        mid = 0.5 * (lo + hi)
+        if admitted(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def system_scaling_slack(
+    system: TaskSystem,
+    processors: int,
+    tolerance: float = 1e-3,
+) -> float:
+    """Largest uniform WCET-growth factor for the whole system.
+
+    Equivalent to ``1 / minimum_fedcons_speed`` (growing all WCETs by ``f``
+    is slowing the platform to speed ``1/f``).
+    """
+    from repro.analysis.speedup import minimum_fedcons_speed
+
+    speed = minimum_fedcons_speed(system, processors, tolerance=tolerance)
+    if not math.isfinite(speed) or speed <= 0:
+        raise AnalysisError("system is not schedulable at any bounded speed")
+    return 1.0 / speed
+
+
+@dataclass(frozen=True)
+class SlackReport:
+    """Per-task slack factors plus the binding constraint."""
+
+    slacks: dict[str, float]
+    bottleneck: str
+
+    def describe(self) -> str:
+        lines = [f"{'task':<16}{'WCET slack factor':>18}"]
+        for name, slack in sorted(self.slacks.items(), key=lambda kv: kv[1]):
+            marker = "  <- bottleneck" if name == self.bottleneck else ""
+            value = "inf" if math.isinf(slack) else f"{slack:.3f}"
+            lines.append(f"{name:<16}{value:>18}{marker}")
+        return "\n".join(lines)
+
+
+def bottleneck_task(
+    system: TaskSystem, processors: int, tolerance: float = 1e-2
+) -> SlackReport:
+    """Per-task slack factors; the bottleneck is the task with the least."""
+    slacks: dict[str, float] = {}
+    for i, task in enumerate(system):
+        name = task.name or f"#{i}"
+        slacks[name] = task_scaling_slack(
+            system, processors, i, tolerance=tolerance
+        )
+    bottleneck = min(slacks, key=lambda k: slacks[k])
+    return SlackReport(slacks=slacks, bottleneck=bottleneck)

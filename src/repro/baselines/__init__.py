@@ -1,0 +1,29 @@
+"""Baseline schedulers and schedulability tests FEDCONS is compared against."""
+
+from repro.baselines.federated_implicit import (
+    ImplicitAllocation,
+    ImplicitFederatedResult,
+    capacity_augmentation_test,
+    federated_implicit,
+    li_processor_count,
+)
+from repro.baselines.global_edf import (
+    gedf_any_test,
+    gedf_density_test,
+    gedf_load_test,
+    gedf_response_time_test,
+)
+from repro.baselines.partitioned_sequential import partitioned_sequential
+
+__all__ = [
+    "federated_implicit",
+    "li_processor_count",
+    "capacity_augmentation_test",
+    "ImplicitAllocation",
+    "ImplicitFederatedResult",
+    "gedf_density_test",
+    "gedf_load_test",
+    "gedf_response_time_test",
+    "gedf_any_test",
+    "partitioned_sequential",
+]

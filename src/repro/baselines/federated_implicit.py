@@ -1,0 +1,213 @@
+"""Federated scheduling for implicit-deadline systems (Li et al., ECRTS 2014).
+
+The prior state of the art this paper generalises.  For an implicit-deadline
+sporadic DAG task system on ``m`` processors:
+
+* each **high-utilization** task (``u_i >= 1``) is granted::
+
+      m_i = ceil( (vol_i - len_i) / (T_i - len_i) )
+
+  dedicated processors, on which any work-conserving (greedy) scheduler
+  meets every deadline (Graham's bound: ``len_i + (vol_i - len_i)/m_i <=
+  T_i``);
+* the **low-utilization** tasks are treated as sequential tasks and
+  partitioned on the remaining processors; with implicit deadlines a
+  processor is schedulable under EDF iff its total utilization is at most
+  one, so partitioning reduces to bin-packing utilizations (we use
+  first-fit-decreasing; Li et al.'s analysis permits any reasonable packing,
+  and [13]'s PTAS achieves ``1 + eps``).
+
+Li et al. prove a **capacity augmentation bound of 2**: any system with
+``U_sum <= m`` and ``len_i <= T_i`` for all ``i`` is schedulable this way on
+``m`` speed-2 processors (equivalently, the unscaled test
+:func:`capacity_augmentation_test` with ``b = 2`` is sufficient on unit-speed
+processors).  A capacity augmentation bound implies an equal speedup bound
+[Li et al. 2013], so this algorithm also has speedup 2 -- for implicit
+deadlines only, which is exactly the gap FEDCONS closes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError, ModelError
+from repro.core.list_scheduling import list_schedule
+from repro.core.schedule import Schedule
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+__all__ = [
+    "ImplicitAllocation",
+    "ImplicitFederatedResult",
+    "li_processor_count",
+    "federated_implicit",
+    "capacity_augmentation_test",
+]
+
+
+@dataclass(frozen=True)
+class ImplicitAllocation:
+    """A high-utilization task's dedicated cluster under Li et al."""
+
+    task: SporadicDAGTask
+    processors: tuple[int, ...]
+    schedule: Schedule  # an LS template; any greedy scheduler also works
+
+
+@dataclass(frozen=True)
+class ImplicitFederatedResult:
+    """Outcome of the Li et al. implicit-deadline federated algorithm."""
+
+    success: bool
+    total_processors: int
+    allocations: tuple[ImplicitAllocation, ...]
+    shared_assignment: tuple[tuple[SporadicDAGTask, ...], ...]
+    failed_task: SporadicDAGTask | None = None
+
+    @property
+    def dedicated_processor_count(self) -> int:
+        return sum(len(a.processors) for a in self.allocations)
+
+
+def li_processor_count(task: SporadicDAGTask) -> int:
+    """``m_i = ceil((vol_i - len_i) / (T_i - len_i))`` for ``u_i >= 1``.
+
+    Raises
+    ------
+    AnalysisError
+        If the task has ``len_i >= T_i`` (no finite cluster meets the
+        implicit deadline via Graham's bound) unless ``vol_i == len_i``
+        (a pure chain, which needs exactly one processor when
+        ``len_i <= T_i``).
+    """
+    if task.span > task.period:
+        raise AnalysisError(
+            f"task {task.name or task!r}: len {task.span:g} exceeds T "
+            f"{task.period:g}; infeasible"
+        )
+    if task.volume == task.span:
+        return 1
+    if task.span == task.period:
+        raise AnalysisError(
+            f"task {task.name or task!r}: len == T with vol > len; "
+            "Graham's bound admits no finite cluster"
+        )
+    return max(1, math.ceil((task.volume - task.span) / (task.period - task.span) - 1e-12))
+
+
+def federated_implicit(
+    system: TaskSystem | Sequence[SporadicDAGTask],
+    processors: int,
+) -> ImplicitFederatedResult:
+    """Run Li et al.'s federated scheduling algorithm.
+
+    Parameters
+    ----------
+    system:
+        An **implicit-deadline** sporadic DAG task system (``D_i == T_i``
+        for every task).
+    processors:
+        Platform size ``m``.
+
+    Raises
+    ------
+    repro.errors.ModelError
+        If any task has ``D_i != T_i``.
+    """
+    if processors < 1:
+        raise AnalysisError(f"platform must have >= 1 processor, got {processors}")
+    if not isinstance(system, TaskSystem):
+        system = TaskSystem(system)
+    offenders = [
+        t.name or f"#{i}"
+        for i, t in enumerate(system)
+        if not t.is_implicit_deadline
+    ]
+    if offenders:
+        raise ModelError(
+            "federated_implicit requires implicit deadlines (D == T); "
+            f"violated by: {', '.join(offenders)}"
+        )
+
+    remaining = processors
+    next_free = 0
+    allocations: list[ImplicitAllocation] = []
+    for task in system.high_utilization_tasks:
+        if task.span > task.period or (
+            task.span == task.period and task.volume > task.span
+        ):
+            return ImplicitFederatedResult(
+                success=False,
+                total_processors=processors,
+                allocations=tuple(allocations),
+                shared_assignment=(),
+                failed_task=task,
+            )
+        count = li_processor_count(task)
+        if count > remaining:
+            return ImplicitFederatedResult(
+                success=False,
+                total_processors=processors,
+                allocations=tuple(allocations),
+                shared_assignment=(),
+                failed_task=task,
+            )
+        schedule = list_schedule(task.dag, count)
+        cluster = tuple(range(next_free, next_free + count))
+        allocations.append(
+            ImplicitAllocation(task=task, processors=cluster, schedule=schedule)
+        )
+        next_free += count
+        remaining -= count
+
+    # Partition low-utilization tasks by first-fit decreasing utilization;
+    # implicit-deadline EDF on one processor is schedulable iff sum(u) <= 1.
+    buckets: list[list[SporadicDAGTask]] = [[] for _ in range(remaining)]
+    loads = [0.0] * remaining
+    low = sorted(
+        system.low_utilization_tasks, key=lambda t: -t.utilization
+    )
+    for task in low:
+        placed = False
+        for k in range(remaining):
+            if loads[k] + task.utilization <= 1.0 + 1e-9:
+                buckets[k].append(task)
+                loads[k] += task.utilization
+                placed = True
+                break
+        if not placed:
+            return ImplicitFederatedResult(
+                success=False,
+                total_processors=processors,
+                allocations=tuple(allocations),
+                shared_assignment=tuple(tuple(b) for b in buckets),
+                failed_task=task,
+            )
+    return ImplicitFederatedResult(
+        success=True,
+        total_processors=processors,
+        allocations=tuple(allocations),
+        shared_assignment=tuple(tuple(b) for b in buckets),
+    )
+
+
+def capacity_augmentation_test(
+    system: TaskSystem, processors: int, bound: float = 2.0
+) -> bool:
+    """The premise of a capacity augmentation bound *bound* (Definition 2).
+
+    Returns True iff ``U_sum <= m / b`` and ``len_i <= D_i / b`` for every
+    task.  With ``b = 2`` this is Li et al.'s sufficient schedulability test
+    for federated scheduling of implicit-deadline systems on unit-speed
+    processors.  The paper's Example 2 shows no such ``b`` can exist for
+    constrained deadlines -- which the EX2 experiment demonstrates by
+    exhibiting systems passing this test at any fixed ``b`` yet needing
+    arbitrarily large speed.
+    """
+    if processors < 1 or bound <= 0:
+        raise AnalysisError("processors must be >= 1 and bound positive")
+    if system.total_utilization > processors / bound + 1e-12:
+        return False
+    return all(t.span <= t.deadline / bound + 1e-12 for t in system)

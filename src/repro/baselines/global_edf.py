@@ -1,0 +1,148 @@
+"""Global-EDF schedulability tests for sporadic DAG task systems.
+
+Under global EDF every ready job (DAG vertex whose predecessors completed)
+competes for all ``m`` processors, prioritised by its dag-job's absolute
+deadline.  The paper cites this line of work ([23], [16], [5], [8], [1]) as
+the other side of the partitioned/global divide.  Three sufficient tests are
+provided, ordered from crudest to sharpest:
+
+:func:`gedf_density_test`
+    the classic density condition ``delta_sum <= m - (m - 1) * delta_max``
+    with each DAG sequentialised to density ``vol_i / min(D_i, T_i)``.
+    Sequentialising can only *add* constraints, so schedulability of the
+    sequential system under global EDF (Goossens-Funk-Baruah) implies
+    schedulability of the DAG system, where extra parallelism only lets jobs
+    finish earlier under the same work-conserving priority order.
+:func:`gedf_load_test`
+    the Bonifaci-et-al.-style condition ``LOAD <= m - (m - 1) * lambda``
+    with ``lambda = max_i len_i / D_i``, the structure underlying the
+    ``(2 - 1/m)``-speedup analysis of global EDF for DAG tasks [8], [1].
+:func:`gedf_response_time_test`
+    a Graham/Melani-style response-time iteration: under any work-conserving
+    global scheduler a dag-job's response time obeys
+    ``R_i <= len_i + (vol_i - len_i + I_i) / m`` where ``I_i`` bounds the
+    interfering workload of other tasks in the window; iterating to a fixed
+    point and checking ``R_i <= D_i`` gives a sufficient test.
+
+These baselines are deliberately *analyses*, not simulations -- the
+comparison of interest (EXP-B) is between what each *schedulability test*
+admits, which is how such algorithms are compared in the literature.  The
+discrete-event simulator in :mod:`repro.sim` additionally provides an actual
+global-EDF run for empirical cross-checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+from repro.analysis.feasibility import system_load
+from repro.model.taskset import TaskSystem
+
+__all__ = [
+    "gedf_density_test",
+    "gedf_load_test",
+    "gedf_response_time_test",
+    "gedf_any_test",
+]
+
+_TOL = 1e-9
+
+
+def _check_platform(system: TaskSystem, processors: int) -> None:
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    system.validate_constrained()
+
+
+def gedf_density_test(system: TaskSystem, processors: int) -> bool:
+    """Density test on the sequentialised system.
+
+    ``sum_i delta_i <= m - (m - 1) * max_i delta_i`` with
+    ``delta_i = vol_i / min(D_i, T_i)``.  Requires ``delta_max <= 1`` --
+    a high-density DAG task cannot be sequentialised at all, so the test
+    simply fails in that case (this is global EDF's structural disadvantage
+    against federated scheduling on parallelism-hungry tasks).
+    """
+    _check_platform(system, processors)
+    delta_max = system.max_density
+    if delta_max > 1.0 + _TOL:
+        return False
+    return system.total_density <= processors - (processors - 1) * delta_max + _TOL
+
+
+def gedf_load_test(system: TaskSystem, processors: int) -> bool:
+    """Load-based test: ``LOAD(tau) <= m - (m - 1) * lambda``.
+
+    ``lambda = max_i len_i / D_i`` measures how much of its window each
+    task's critical path consumes; ``LOAD`` is the demand-bound load of the
+    sequentialised system (see :func:`repro.analysis.system_load`).  This is
+    the shape of the global-EDF analysis of Bonifaci et al. [8] and Baruah
+    [1] that yields a ``2 - 1/m`` speedup for constrained-deadline DAG
+    systems.
+    """
+    _check_platform(system, processors)
+    lam = max(t.span / t.deadline for t in system)
+    if lam > 1.0 + _TOL:
+        return False
+    return system_load(system) <= processors - (processors - 1) * lam + _TOL
+
+
+def gedf_response_time_test(
+    system: TaskSystem, processors: int, max_iterations: int = 256
+) -> bool:
+    """Response-time iteration in the style of Melani et al. (ECRTS 2015).
+
+    For each task, iterate::
+
+        R_i <- len_i + (vol_i - len_i) / m
+               + (1/m) * sum_{j != i} W_j(R_i)
+
+    where ``W_j(L) = (floor((L + D_j) / T_j) + 1) * vol_j`` upper-bounds the
+    workload of task ``j`` interfering in any window of length ``L``: a
+    dag-job of ``tau_j`` doing work inside the window must be released after
+    ``window_start - D_j`` (or it would have missed its own deadline --
+    deadlines are constrained, and global EDF only lets *earlier*-deadline
+    work interfere, which this conservative count subsumes) and before the
+    window ends.  The system is accepted iff every ``R_i`` converges to at
+    most ``D_i``.
+    """
+    _check_platform(system, processors)
+    m = processors
+    for i, task in enumerate(system):
+        if task.span > task.deadline:
+            return False
+        response = task.span + (task.volume - task.span) / m
+        for _ in range(max_iterations):
+            interference = 0.0
+            for j, other in enumerate(system):
+                if j == i:
+                    continue
+                releases = math.floor((response + other.deadline) / other.period) + 1
+                interference += releases * other.volume
+            new_response = (
+                task.span + (task.volume - task.span) / m + interference / m
+            )
+            if new_response > task.deadline + _TOL:
+                return False
+            if abs(new_response - response) <= 1e-9:
+                break
+            response = new_response
+        else:
+            return False
+        if response > task.deadline + _TOL:
+            return False
+    return True
+
+
+def gedf_any_test(system: TaskSystem, processors: int) -> bool:
+    """Accept if *any* of the three sufficient global-EDF tests accepts.
+
+    The tests are incomparable (each admits systems the others reject), so
+    the union is the fairest single global-EDF baseline for EXP-B.
+    """
+    return (
+        gedf_density_test(system, processors)
+        or gedf_load_test(system, processors)
+        or gedf_response_time_test(system, processors)
+    )

@@ -1,0 +1,73 @@
+"""Fully-partitioned scheduling: the pre-federated state of the art.
+
+Classic partitioned multiprocessor scheduling maps every task to exactly one
+processor.  Applied to sporadic DAG tasks it must sequentialise *every* task
+-- including high-density ones -- which, as the paper's introduction notes,
+"hobbles the expressiveness of the model considerably by forbidding tasks
+with a (parallelizable) computational demand exceeding the capacity of a
+single processor".
+
+This baseline exists to quantify exactly that: any system containing a task
+with ``delta_i > 1`` is rejected outright, and EXP-B shows the acceptance gap
+versus FEDCONS widening with the share of high-density tasks.
+
+The partitioning itself reuses the Baruah-Fisher machinery of
+:mod:`repro.core.partition` (deadline-ordered first-fit with DBF*), so the
+*only* difference from FEDCONS is the absence of the federated phase.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.core.partition import (
+    AdmissionTest,
+    FitStrategy,
+    PartitionResult,
+    TaskOrder,
+    partition_sporadic,
+)
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+__all__ = ["partitioned_sequential"]
+
+
+def partitioned_sequential(
+    system: TaskSystem | Sequence[SporadicDAGTask],
+    processors: int,
+    order: TaskOrder = TaskOrder.DEADLINE,
+    fit: FitStrategy = FitStrategy.FIRST_FIT,
+    admission: AdmissionTest = AdmissionTest.DBF_APPROX,
+) -> PartitionResult:
+    """Partition *every* task (sequentialised) onto *processors* EDF processors.
+
+    Tasks with density above one are structurally unschedulable when
+    sequentialised; such a system yields an immediate failure whose
+    ``failed_task`` is the densest offender.
+    """
+    if processors < 1:
+        raise AnalysisError(f"platform must have >= 1 processor, got {processors}")
+    if not isinstance(system, TaskSystem):
+        system = TaskSystem(system)
+    system.validate_constrained()
+
+    sporadic: list[SporadicTask] = []
+    for i, task in enumerate(system):
+        s = task.to_sporadic()
+        if not s.name:
+            s = SporadicTask(s.wcet, s.deadline, s.period, name=f"task#{i}")
+        sporadic.append(s)
+    dense = max(sporadic, key=lambda t: t.density)
+    if dense.density > 1.0 + 1e-9:
+        return PartitionResult(
+            success=False,
+            assignment=tuple(() for _ in range(processors)),
+            processors=processors,
+            failed_task=dense,
+        )
+    return partition_sporadic(
+        sporadic, processors, order=order, fit=fit, admission=admission
+    )

@@ -1,0 +1,79 @@
+"""The paper's primary contribution: FEDCONS and its two phases
+(MINPROCS over List-Scheduling templates; DBF*-based PARTITION)."""
+
+from repro.core.dbf import (
+    demand_breakpoints,
+    edf_approx_test,
+    edf_density_test,
+    edf_exact_test,
+    minimum_speed_exact,
+    testing_interval_bound,
+    total_dbf,
+    total_dbf_approx,
+)
+from repro.core.fixed_priority import (
+    deadline_monotonic,
+    fp_exact_test,
+    rbf_approx_test,
+    response_time_analysis,
+)
+from repro.core.fedcons import (
+    FailureReason,
+    FedConsResult,
+    HighDensityAllocation,
+    fedcons,
+)
+from repro.core.list_scheduling import (
+    PRIORITY_ORDERS,
+    graham_anomaly_instance,
+    graham_makespan_bound,
+    list_schedule,
+    makespan_lower_bound,
+    priority_list,
+)
+from repro.core.minprocs import MinProcsResult, minprocs, minprocs_unbounded
+from repro.core.partition import (
+    AdmissionTest,
+    FitStrategy,
+    PartitionResult,
+    TaskOrder,
+    partition,
+    partition_sporadic,
+)
+from repro.core.schedule import Schedule, Slot
+
+__all__ = [
+    "Schedule",
+    "Slot",
+    "list_schedule",
+    "priority_list",
+    "PRIORITY_ORDERS",
+    "graham_makespan_bound",
+    "makespan_lower_bound",
+    "graham_anomaly_instance",
+    "minprocs",
+    "minprocs_unbounded",
+    "MinProcsResult",
+    "total_dbf",
+    "total_dbf_approx",
+    "edf_density_test",
+    "edf_approx_test",
+    "edf_exact_test",
+    "minimum_speed_exact",
+    "testing_interval_bound",
+    "demand_breakpoints",
+    "partition",
+    "partition_sporadic",
+    "PartitionResult",
+    "FitStrategy",
+    "TaskOrder",
+    "AdmissionTest",
+    "deadline_monotonic",
+    "response_time_analysis",
+    "fp_exact_test",
+    "rbf_approx_test",
+    "fedcons",
+    "FedConsResult",
+    "FailureReason",
+    "HighDensityAllocation",
+]

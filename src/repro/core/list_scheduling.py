@@ -1,0 +1,227 @@
+"""Graham's List Scheduling (LS) for precedence-constrained jobs.
+
+LS [Graham, 1969] constructs a *work-conserving* schedule: whenever a
+processor is idle and some job is available (all predecessors complete), the
+highest-priority available job is started on it.  The paper uses LS to build
+the template schedule ``sigma_i`` of each high-density task (Section IV-A)
+because:
+
+* the makespan of any LS schedule satisfies Graham's bound
+  ``makespan <= len + (vol - len) / m``, which implies a speedup bound of
+  ``2 - 1/m`` against an optimal (even preemptive) scheduler (Lemma 1); and
+* although LS exhibits *timing anomalies* (shrinking an execution time may
+  lengthen the schedule -- see :func:`graham_anomaly_instance`), the template
+  is replayed as a lookup table at run time, which is anomaly-proof.
+
+The priority list only affects which available job is chosen first; every
+choice satisfies Graham's bound.  Several standard orders are provided.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Sequence
+
+from repro.errors import AnalysisError
+from repro.core.schedule import Schedule, Slot
+from repro.model.dag import DAG, VertexId
+
+__all__ = [
+    "list_schedule",
+    "graham_makespan_bound",
+    "makespan_lower_bound",
+    "PRIORITY_ORDERS",
+    "priority_list",
+    "graham_anomaly_instance",
+]
+
+
+def _upward_rank(dag: DAG) -> dict[VertexId, float]:
+    """Length of the longest chain *starting* at each vertex (inclusive)."""
+    rank: dict[VertexId, float] = {}
+    for v in reversed(dag.vertices):
+        tail = max((rank[s] for s in dag.successors(v)), default=0.0)
+        rank[v] = dag.wcet(v) + tail
+    return rank
+
+
+def _order_given(dag: DAG) -> list[VertexId]:
+    return list(dag.vertices)
+
+
+def _order_longest_path(dag: DAG) -> list[VertexId]:
+    rank = _upward_rank(dag)
+    indices = {v: i for i, v in enumerate(dag.vertices)}
+    return sorted(dag.vertices, key=lambda v: (-rank[v], indices[v]))
+
+
+def _order_largest_wcet(dag: DAG) -> list[VertexId]:
+    indices = {v: i for i, v in enumerate(dag.vertices)}
+    return sorted(dag.vertices, key=lambda v: (-dag.wcet(v), indices[v]))
+
+
+def _order_smallest_wcet(dag: DAG) -> list[VertexId]:
+    indices = {v: i for i, v in enumerate(dag.vertices)}
+    return sorted(dag.vertices, key=lambda v: (dag.wcet(v), indices[v]))
+
+
+#: Named priority orders accepted by :func:`list_schedule`.
+#: ``"topological"`` is the DAG's own (deterministic) vertex order,
+#: ``"longest_path"`` is the classic critical-path / HLF heuristic.
+PRIORITY_ORDERS: dict[str, Callable[[DAG], list[VertexId]]] = {
+    "topological": _order_given,
+    "longest_path": _order_longest_path,
+    "largest_wcet": _order_largest_wcet,
+    "smallest_wcet": _order_smallest_wcet,
+}
+
+
+def priority_list(dag: DAG, order: str | Sequence[VertexId]) -> list[VertexId]:
+    """Resolve *order* to an explicit priority list over the DAG's vertices.
+
+    *order* is either a key of :data:`PRIORITY_ORDERS` or an explicit
+    sequence containing every vertex exactly once.
+    """
+    if isinstance(order, str):
+        try:
+            return PRIORITY_ORDERS[order](dag)
+        except KeyError:
+            raise AnalysisError(
+                f"unknown priority order {order!r}; available: "
+                f"{sorted(PRIORITY_ORDERS)}"
+            ) from None
+    explicit = list(order)
+    if sorted(map(repr, explicit)) != sorted(map(repr, dag.vertices)):
+        raise AnalysisError(
+            "explicit priority list must contain every DAG vertex exactly once"
+        )
+    return explicit
+
+
+def list_schedule(
+    dag: DAG,
+    processors: int,
+    order: str | Sequence[VertexId] = "longest_path",
+    wcets: dict[VertexId, float] | None = None,
+) -> Schedule:
+    """Schedule one dag-job on *processors* identical processors with LS.
+
+    Parameters
+    ----------
+    dag:
+        The precedence graph.
+    processors:
+        Number of identical processors (``>= 1``).
+    order:
+        Priority order; a key of :data:`PRIORITY_ORDERS` or an explicit
+        vertex sequence.  The default critical-path order is a good general
+        heuristic; any order satisfies Graham's bound.
+    wcets:
+        Optional override of per-vertex execution times (used by the anomaly
+        demonstration and the simulator's what-if analysis).  Defaults to the
+        DAG's WCETs.
+
+    Returns
+    -------
+    Schedule
+        A validated non-preemptive template schedule.
+    """
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    times = dict(dag.wcets) if wcets is None else dict(wcets)
+    missing = [v for v in dag.vertices if v not in times]
+    if missing:
+        raise AnalysisError(f"missing execution times for {missing!r}")
+
+    prio = {v: i for i, v in enumerate(priority_list(dag, order))}
+    indegree = {v: len(dag.predecessors(v)) for v in dag.vertices}
+
+    # Ready jobs keyed by priority; running jobs keyed by completion time.
+    ready: list[tuple[int, VertexId]] = [
+        (prio[v], v) for v in dag.vertices if indegree[v] == 0
+    ]
+    heapq.heapify(ready)
+    tie = itertools.count()
+    running: list[tuple[float, int, VertexId]] = []
+    idle = processors
+    now = 0.0
+    slots: list[Slot] = []
+    assigned_proc: dict[VertexId, int] = {}
+    free_procs = list(range(processors - 1, -1, -1))
+
+    scheduled = 0
+    total = len(dag)
+    while scheduled < total:
+        # Start every ready job we have a processor for, highest priority first.
+        while ready and idle > 0:
+            _, v = heapq.heappop(ready)
+            proc = free_procs.pop()
+            assigned_proc[v] = proc
+            end = now + times[v]
+            slots.append(Slot(start=now, end=end, processor=proc, vertex=v))
+            heapq.heappush(running, (end, next(tie), v))
+            idle -= 1
+            scheduled += 1
+        if scheduled >= total:
+            break
+        if not running:
+            raise AnalysisError(
+                "LS deadlocked: no running job but unscheduled vertices remain"
+            )
+        # Advance to the next completion instant; retire *all* jobs finishing
+        # then, releasing successors, before the next assignment round.
+        now = running[0][0]
+        while running and running[0][0] <= now:
+            _, _, done = heapq.heappop(running)
+            free_procs.append(assigned_proc[done])
+            idle += 1
+            for succ in dag.successors(done):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(ready, (prio[succ], succ))
+
+    schedule = Schedule(dag, slots, processors)
+    if wcets is None:
+        schedule.validate()
+    return schedule
+
+
+def graham_makespan_bound(dag: DAG, processors: int) -> float:
+    """Graham's bound on the makespan of *any* LS schedule::
+
+        makespan <= len + (vol - len) / m
+
+    Combined with the trivial lower bounds ``OPT >= len`` and
+    ``OPT >= vol / m`` this yields LS's ``(2 - 1/m)`` speedup bound.
+    """
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    span = dag.longest_chain_length
+    return span + (dag.volume - span) / processors
+
+
+def makespan_lower_bound(dag: DAG, processors: int) -> float:
+    """``max(len, vol / m)`` -- a lower bound on the makespan achievable by
+    any scheduler (even preemptive and clairvoyant) on *processors* unit-speed
+    processors."""
+    if processors < 1:
+        raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    return max(dag.longest_chain_length, dag.volume / processors)
+
+
+def graham_anomaly_instance() -> tuple[DAG, DAG, list[int], int]:
+    """Graham's classic timing-anomaly instance.
+
+    Returns ``(dag, dag_reduced, priority, m)`` where scheduling *dag* on
+    ``m = 3`` processors with the given priority list yields makespan 12, yet
+    *dag_reduced* -- the same DAG with every execution time shrunk by one unit
+    -- yields makespan 13.  This is why the paper replays the stored template
+    ``sigma_i`` at run time instead of re-running LS online (footnote 2).
+    """
+    edges = [(1, 9), (4, 5), (4, 6), (4, 7), (4, 8)]
+    wcets = {1: 3, 2: 2, 3: 2, 4: 2, 5: 4, 6: 4, 7: 4, 8: 4, 9: 9}
+    reduced = {v: w - 1 for v, w in wcets.items()}
+    dag = DAG(wcets, edges)
+    dag_reduced = DAG(reduced, edges)
+    return dag, dag_reduced, [1, 2, 3, 4, 5, 6, 7, 8, 9], 3

@@ -1,0 +1,114 @@
+"""Procedure MINPROCS (Figure 3 of the paper).
+
+For a high-density constrained-deadline sporadic DAG task ``tau_i``, MINPROCS
+finds the minimum number of dedicated processors ``mu`` such that Graham's
+List Scheduling produces a template schedule of ``G_i`` with makespan no
+larger than ``D_i``.  Since ``D_i <= T_i``, consecutive dag-jobs never
+overlap, so a per-dag-job template suffices (Section IV-A).
+
+The search starts at ``ceil(delta_i)`` -- fewer processors cannot possibly
+carry a density-``delta_i`` task -- and stops at the number of remaining
+processors ``m_r``; if no ``mu <= m_r`` works, the task is unschedulable on
+the remaining platform and ``None`` is returned (the paper's ``infinity``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.core.list_scheduling import list_schedule
+from repro.core.schedule import Schedule
+from repro.model.dag import VertexId
+from repro.model.task import SporadicDAGTask
+
+__all__ = ["MinProcsResult", "minprocs", "minprocs_unbounded"]
+
+
+@dataclass(frozen=True)
+class MinProcsResult:
+    """Outcome of a successful MINPROCS call.
+
+    Attributes
+    ----------
+    processors:
+        ``m_i`` -- the number of dedicated processors granted to the task.
+    schedule:
+        The template schedule ``sigma_i`` replayed at run time.
+    attempts:
+        How many LS runs the search performed (for complexity experiments).
+    """
+
+    processors: int
+    schedule: Schedule
+    attempts: int
+
+
+def minprocs(
+    task: SporadicDAGTask,
+    available: int,
+    order: str | Sequence[VertexId] = "longest_path",
+) -> MinProcsResult | None:
+    """Run MINPROCS(tau_i, m_r): smallest LS cluster meeting the deadline.
+
+    Parameters
+    ----------
+    task:
+        A constrained-deadline sporadic DAG task.  (The procedure is also
+        well-defined for low-density tasks; FEDCONS only calls it for
+        high-density ones.)
+    available:
+        ``m_r`` -- the number of processors still unallocated.
+    order:
+        LS priority order (see :mod:`repro.core.list_scheduling`).  The
+        paper leaves the list order open; any order preserves Lemma 1.
+
+    Returns
+    -------
+    MinProcsResult | None
+        ``None`` when no cluster of at most *available* processors yields an
+        LS makespan within the deadline (the paper's ``return infinity``).
+
+    Raises
+    ------
+    AnalysisError
+        If the task is not constrained-deadline (the per-dag-job template
+        argument breaks down when ``D_i > T_i``), or *available* < 0.
+    """
+    if available < 0:
+        raise AnalysisError(f"available processor count must be >= 0, got {available}")
+    if not task.is_constrained_deadline:
+        raise AnalysisError(
+            f"MINPROCS requires a constrained-deadline task; "
+            f"{task.name or task!r} has D > T"
+        )
+    if task.span > task.deadline:
+        # No processor count can beat the critical path.
+        return None
+    start = max(1, math.ceil(task.density - 1e-12))
+    attempts = 0
+    for mu in range(start, available + 1):
+        attempts += 1
+        schedule = list_schedule(task.dag, mu, order=order)
+        if schedule.meets_deadline(task.deadline):
+            return MinProcsResult(processors=mu, schedule=schedule, attempts=attempts)
+    return None
+
+
+def minprocs_unbounded(
+    task: SporadicDAGTask,
+    order: str | Sequence[VertexId] = "longest_path",
+) -> MinProcsResult | None:
+    """MINPROCS with no cap on the cluster size.
+
+    Useful for analysis experiments (Lemma 1 validation): the search always
+    terminates by ``mu = |V_i|`` when the task is structurally feasible
+    (``len_i <= D_i``) -- with one processor per job every available job
+    starts the instant its predecessors finish, so the LS makespan equals the
+    critical path length ``len_i``.
+    """
+    if task.span > task.deadline:
+        return None
+    return minprocs(task, len(task.dag), order=order)

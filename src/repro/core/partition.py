@@ -1,0 +1,259 @@
+"""Procedure PARTITION (Figure 4 of the paper).
+
+PARTITION places the low-density tasks -- each collapsed to a three-parameter
+sporadic task ``(vol_i, D_i, T_i)`` -- onto the ``m_r`` shared processors.
+Following Baruah & Fisher (IEEE TC 2006), tasks are considered in
+non-decreasing deadline order and assigned first-fit; task ``tau_i`` fits on
+processor ``k`` if the ``DBF*``-approximated demand already on ``k`` leaves
+room for ``tau_i``'s volume by its deadline::
+
+    D_i - sum_{tau_j in tau(k)} DBF*(tau_j, D_i)  >=  vol_i        (demand)
+
+and the processor's long-run rate is not overcommitted::
+
+    1 - sum_{tau_j in tau(k)} u_j  >=  u_i                         (rate)
+
+(The paper's Figure 4 shows the demand condition; the rate condition is part
+of the underlying Baruah-Fisher algorithm [7] whose Corollary 1 the paper's
+Lemma 2 cites, and is what makes the deadline-ordered check at the single
+point ``t = D_i`` sound for all later instants.)
+
+Each shared processor then runs preemptive uniprocessor EDF at run time.
+
+For the ablation experiment (EXP-F) the module also exposes alternative fit
+strategies, orderings and admission tests; :func:`partition` with default
+arguments is exactly the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import AnalysisError
+from repro.core import dbf as dbf_mod
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+
+__all__ = [
+    "FitStrategy",
+    "TaskOrder",
+    "AdmissionTest",
+    "PartitionResult",
+    "partition",
+    "partition_sporadic",
+]
+
+_TOL = 1e-9
+
+
+class FitStrategy(Enum):
+    """How to pick among processors that can accept a task."""
+
+    FIRST_FIT = "first_fit"
+    BEST_FIT = "best_fit"  # least remaining demand slack after placement
+    WORST_FIT = "worst_fit"  # most remaining demand slack after placement
+
+
+class TaskOrder(Enum):
+    """The order in which tasks are considered for placement."""
+
+    DEADLINE = "deadline"  # non-decreasing D_i -- the paper's order
+    DENSITY = "density"  # non-increasing density
+    UTILIZATION = "utilization"  # non-increasing utilization
+    GIVEN = "given"  # input order, unmodified
+
+
+class AdmissionTest(Enum):
+    """The per-processor schedulability condition used during placement."""
+
+    DBF_APPROX = "dbf_approx"  # the paper's DBF* + rate conditions
+    DBF_EXACT = "dbf_exact"  # exact processor-demand criterion (slow)
+    DENSITY = "density"  # total density <= 1 (crudest)
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of a partitioning attempt.
+
+    Attributes
+    ----------
+    success:
+        Whether every task was placed.
+    assignment:
+        ``assignment[k]`` is the tuple of tasks placed on shared processor
+        ``k`` (indices ``0 .. processors-1``), in placement order.
+    failed_task:
+        The first task that could not be placed (``None`` on success).
+    processors:
+        Number of shared processors offered.
+    """
+
+    success: bool
+    assignment: tuple[tuple[SporadicTask, ...], ...]
+    processors: int
+    failed_task: SporadicTask | None = None
+    dag_tasks: dict[str, SporadicDAGTask] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    @property
+    def used_processors(self) -> int:
+        """Number of shared processors with at least one task."""
+        return sum(1 for bucket in self.assignment if bucket)
+
+    def processor_of(self, task: SporadicTask) -> int:
+        """Index of the processor holding *task*."""
+        for k, bucket in enumerate(self.assignment):
+            if task in bucket:
+                return k
+        raise AnalysisError(f"task {task.name or task!r} is not in this partition")
+
+    def verify(self, exact: bool = False) -> bool:
+        """Re-check schedulability of every processor's bucket.
+
+        With ``exact=True`` uses the pseudo-polynomial processor-demand
+        criterion; otherwise the ``DBF*`` test.  Since ``DBF*`` dominates
+        ``dbf``, approximate acceptance implies exact schedulability.
+        """
+        test = dbf_mod.edf_exact_test if exact else dbf_mod.edf_approx_test
+        return all(test(list(bucket)) for bucket in self.assignment)
+
+
+def _fits_demand(bucket: list[SporadicTask], task: SporadicTask) -> bool:
+    """The paper's Figure 4 condition at ``t = D_i`` plus the rate condition."""
+    demand = dbf_mod.total_dbf_approx(bucket, task.deadline)
+    if task.deadline - demand < task.wcet - _TOL:
+        return False
+    rate = sum(t.utilization for t in bucket)
+    return 1.0 - rate >= task.utilization - _TOL
+
+
+def _fits_exact(bucket: list[SporadicTask], task: SporadicTask) -> bool:
+    return dbf_mod.edf_exact_test(bucket + [task])
+
+
+def _fits_density(bucket: list[SporadicTask], task: SporadicTask) -> bool:
+    return sum(t.density for t in bucket) + task.density <= 1.0 + _TOL
+
+
+_FIT_TESTS = {
+    AdmissionTest.DBF_APPROX: _fits_demand,
+    AdmissionTest.DBF_EXACT: _fits_exact,
+    AdmissionTest.DENSITY: _fits_density,
+}
+
+
+def _slack_after(bucket: list[SporadicTask], task: SporadicTask) -> float:
+    """Remaining rate headroom if *task* joins *bucket* (for best/worst fit)."""
+    return 1.0 - sum(t.utilization for t in bucket) - task.utilization
+
+
+def _sorted_tasks(
+    tasks: Sequence[SporadicTask], order: TaskOrder
+) -> list[SporadicTask]:
+    indexed = list(enumerate(tasks))
+    if order is TaskOrder.DEADLINE:
+        indexed.sort(key=lambda pair: (pair[1].deadline, pair[0]))
+    elif order is TaskOrder.DENSITY:
+        indexed.sort(key=lambda pair: (-pair[1].density, pair[0]))
+    elif order is TaskOrder.UTILIZATION:
+        indexed.sort(key=lambda pair: (-pair[1].utilization, pair[0]))
+    return [task for _, task in indexed]
+
+
+def partition_sporadic(
+    tasks: Sequence[SporadicTask],
+    processors: int,
+    order: TaskOrder = TaskOrder.DEADLINE,
+    fit: FitStrategy = FitStrategy.FIRST_FIT,
+    admission: AdmissionTest = AdmissionTest.DBF_APPROX,
+) -> PartitionResult:
+    """Partition three-parameter sporadic tasks onto *processors* EDF processors.
+
+    With default arguments this is exactly PARTITION of the paper's Figure 4
+    (deadline-ordered first-fit with the ``DBF*`` admission test); the other
+    enum values drive the EXP-F ablation.
+
+    The function never raises on an unplaceable task -- it returns a
+    :class:`PartitionResult` with ``success=False`` and the offending task,
+    mirroring the pseudo-code's ``return FAILURE``.
+    """
+    if processors < 0:
+        raise AnalysisError(f"processor count must be >= 0, got {processors}")
+    buckets: list[list[SporadicTask]] = [[] for _ in range(processors)]
+    fits = _FIT_TESTS[admission]
+    for task in _sorted_tasks(tasks, order):
+        candidates = [k for k in range(processors) if fits(buckets[k], task)]
+        if not candidates:
+            return PartitionResult(
+                success=False,
+                assignment=tuple(tuple(b) for b in buckets),
+                processors=processors,
+                failed_task=task,
+            )
+        if fit is FitStrategy.FIRST_FIT:
+            chosen = candidates[0]
+        elif fit is FitStrategy.BEST_FIT:
+            chosen = min(candidates, key=lambda k: _slack_after(buckets[k], task))
+        else:  # WORST_FIT
+            chosen = max(candidates, key=lambda k: _slack_after(buckets[k], task))
+        buckets[chosen].append(task)
+    return PartitionResult(
+        success=True,
+        assignment=tuple(tuple(b) for b in buckets),
+        processors=processors,
+    )
+
+
+def partition(
+    tasks: Sequence[SporadicDAGTask],
+    processors: int,
+    order: TaskOrder = TaskOrder.DEADLINE,
+    fit: FitStrategy = FitStrategy.FIRST_FIT,
+    admission: AdmissionTest = AdmissionTest.DBF_APPROX,
+) -> PartitionResult:
+    """PARTITION(tau_low, m_r): place low-density sporadic DAG tasks.
+
+    Each DAG task is first collapsed to its three-parameter equivalent
+    ``(vol_i, D_i, T_i)`` (a task confined to one processor cannot exploit
+    internal parallelism -- Section IV-B), then placed with
+    :func:`partition_sporadic`.  The result's ``dag_tasks`` maps sporadic
+    task names back to the originating DAG tasks.
+
+    Raises
+    ------
+    AnalysisError
+        If any input task is high-density (``delta_i >= 1``): such a task can
+        never share a processor and belongs in the MINPROCS phase.
+    """
+    for i, task in enumerate(tasks):
+        if task.is_high_density:
+            raise AnalysisError(
+                f"PARTITION received high-density task "
+                f"{task.name or f'#{i}'} (density {task.density:.3f} >= 1)"
+            )
+    named = []
+    back: dict[str, SporadicDAGTask] = {}
+    for i, task in enumerate(tasks):
+        sporadic = task.to_sporadic()
+        if not sporadic.name:
+            sporadic = SporadicTask(
+                wcet=sporadic.wcet,
+                deadline=sporadic.deadline,
+                period=sporadic.period,
+                name=f"task#{i}",
+            )
+        named.append(sporadic)
+        back[sporadic.name] = task
+    result = partition_sporadic(
+        named, processors, order=order, fit=fit, admission=admission
+    )
+    return PartitionResult(
+        success=result.success,
+        assignment=result.assignment,
+        processors=result.processors,
+        failed_task=result.failed_task,
+        dag_tasks=back,
+    )

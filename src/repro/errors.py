@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Validation problems with user-supplied
+task models raise :class:`ModelError`; algorithmic preconditions that do not
+hold raise :class:`AnalysisError`; simulation-time inconsistencies raise
+:class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ModelError(ReproError):
+    """An invalid task model (cyclic DAG, non-positive WCET, bad deadline...)."""
+
+
+class CycleError(ModelError):
+    """The supplied edge set contains a directed cycle."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was invoked outside its domain of validity."""
+
+
+class ScheduleError(ReproError):
+    """A generated or supplied schedule violates a structural invariant."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an internal inconsistency."""
+
+
+class GenerationError(ReproError):
+    """A workload generator received unsatisfiable parameters."""

@@ -1,0 +1,21 @@
+"""The evaluation harness: one module per reproduced table/figure.
+
+See DESIGN.md for the experiment index; :mod:`repro.experiments.runner` is
+the CLI (installed as ``fedcons-experiments``).
+"""
+
+from repro.experiments.harness import (
+    ALGORITHMS,
+    SweepPoint,
+    acceptance_sweep,
+    sweep_table,
+)
+from repro.experiments.reporting import Table
+
+__all__ = [
+    "Table",
+    "ALGORITHMS",
+    "SweepPoint",
+    "acceptance_sweep",
+    "sweep_table",
+]

@@ -1,0 +1,73 @@
+"""EXT-H: the arbitrary-deadline frontier (the paper's future work).
+
+The paper closes by flagging arbitrary-deadline federated scheduling as open
+("quite a bit more challenging ... a straightforward application of List
+Scheduling can no longer be used").  This experiment maps the territory the
+open problem covers: on arbitrary-deadline workloads (deadlines stretched
+past periods), how much acceptance does the sound-but-conservative
+deadline-clamp bridge (``D' = min(D, T)``, then FEDCONS) give up against the
+deadline-model-agnostic necessary conditions?  The gap column is the
+headroom a genuine arbitrary-deadline analysis could reclaim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import Table
+from repro.extensions.arbitrary_deadline import (
+    clamping_pessimism,
+    stretch_deadlines,
+)
+from repro.generation.tasksets import SystemConfig, generate_system
+
+__all__ = ["run"]
+
+
+def run(samples: int = 100, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Clamp acceptance vs necessary conditions across deadline stretches."""
+    if quick:
+        samples = min(samples, 20)
+    m = 8
+    table = Table(
+        title=f"EXT-H: deadline-clamp pessimism on arbitrary-deadline systems "
+        f"(m={m})",
+        columns=[
+            "deadline stretch",
+            "U/m",
+            "necessary-conditions pass",
+            "clamped FEDCONS accepts",
+            "gap (open territory)",
+        ],
+    )
+    for stretch in ((1.0, 1.0), (1.0, 1.5), (1.5, 2.5), (2.5, 4.0)):
+        for norm_util in (0.4, 0.6):
+            cfg = SystemConfig(
+                tasks=2 * m,
+                processors=m,
+                normalized_utilization=norm_util,
+                max_vertices=15 if quick else 25,
+            )
+            rng = np.random.default_rng(
+                seed * 7907 + int(stretch[1] * 10) * 100 + int(norm_util * 100)
+            )
+            systems = [
+                stretch_deadlines(generate_system(cfg, rng), stretch, rng)
+                for _ in range(samples)
+            ]
+            result = clamping_pessimism(systems, m)
+            table.add_row(
+                f"x{stretch[0]:g}..x{stretch[1]:g}",
+                norm_util,
+                result.necessary_passes / samples,
+                result.clamped_accepts / samples,
+                result.gap,
+            )
+    table.notes.append(
+        "the clamp keeps all slack up to T and discards only the D > T "
+        "residual, so stretched systems are *easier* after clamping than the "
+        "unstretched baseline (x1..x1 row); the remaining gap at high load "
+        "is dominated by FEDCONS's own conservatism, bounding how much a "
+        "genuine arbitrary-deadline analysis could add at these loads."
+    )
+    return [table]

@@ -1,0 +1,82 @@
+"""EXP-J: breakdown utilization of each schedulability decision.
+
+For every random system, each algorithm's WCETs are scaled until its verdict
+flips; the *breakdown utilization* ``U_sum / (s_min * m)`` is the effective
+normalized load the algorithm sustains on that instance.  Unlike the
+acceptance-ratio curves (EXP-A/B), breakdown utilization compares algorithms
+on *identical instances* without binning artifacts -- the classic complement
+in the schedulability-experiment literature.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.speedup import minimum_accepting_speed
+from repro.baselines.global_edf import gedf_any_test
+from repro.baselines.partitioned_sequential import partitioned_sequential
+from repro.core.fedcons import fedcons
+from repro.experiments.reporting import Table
+from repro.extensions.fixed_priority_pool import fedcons_fp
+from repro.generation.tasksets import SystemConfig, generate_system
+
+__all__ = ["run"]
+
+
+def _decisions(m: int):
+    return {
+        "FEDCONS": lambda s: fedcons(s, m).success,
+        "FEDCONS-DM": lambda s: fedcons_fp(s, m).success,
+        "GEDF": lambda s: gedf_any_test(s, m),
+        "PARTITIONED": lambda s: partitioned_sequential(s, m).success,
+    }
+
+
+def run(samples: int = 60, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Per-instance breakdown utilization for each schedulability decision."""
+    if quick:
+        samples = min(samples, 10)
+    m = 8
+    cfg = SystemConfig(
+        tasks=2 * m,
+        processors=m,
+        normalized_utilization=0.4,  # nominal; scaling sweeps the real load
+        max_vertices=15 if quick else 25,
+    )
+    decisions = _decisions(m)
+    breakdowns: dict[str, list[float]] = {name: [] for name in decisions}
+    rng = np.random.default_rng(seed * 15485863 + 7)
+    unschedulable = {name: 0 for name in decisions}
+    for _ in range(samples):
+        system = generate_system(cfg, rng)
+        base_util = system.total_utilization / m
+        for name, accepts in decisions.items():
+            speed = minimum_accepting_speed(accepts, system, tolerance=1e-2)
+            if math.isfinite(speed):
+                breakdowns[name].append(base_util / speed)
+            else:
+                unschedulable[name] += 1
+
+    table = Table(
+        title=f"EXP-J: breakdown utilization U_sum/(s_min*m) on identical "
+        f"instances (m={m}, {samples} systems)",
+        columns=["algorithm", "mean", "median", "p10", "never accepts"],
+    )
+    for name in decisions:
+        data = np.asarray(breakdowns[name]) if breakdowns[name] else np.asarray([0.0])
+        table.add_row(
+            name,
+            float(data.mean()),
+            float(np.median(data)),
+            float(np.percentile(data, 10)),
+            unschedulable[name],
+        )
+    table.notes.append(
+        "uniform WCET scaling eventually satisfies every decision (densities "
+        "shrink with speed), so 'never accepts' should read 0 -- it guards "
+        "the binary-search ceiling.  The FEDCONS-vs-PARTITIONED mean gap is "
+        "the per-instance price of forbidding intra-task parallelism."
+    )
+    return [table]

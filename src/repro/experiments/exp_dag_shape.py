@@ -1,0 +1,58 @@
+"""EXP-D: sensitivity to DAG structure.
+
+The paper cautions that schedulability-experiment results "are necessarily
+deeply influenced by the manner in which we generate our task systems"; this
+experiment makes that dependence explicit by sweeping the DAG generator --
+Erdos-Renyi edge densities from near-parallel (p = 0.05) to near-chain
+(p = 0.8), plus the structured nested-fork-join, layered and series-parallel
+families -- at a fixed platform and load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.harness import acceptance_sweep
+from repro.experiments.reporting import Table
+from repro.generation.tasksets import SystemConfig
+
+__all__ = ["run"]
+
+
+def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
+    """FEDCONS acceptance across DAG-structure families."""
+    if quick:
+        samples = min(samples, 25)
+    m = 8
+    utilizations = (0.4, 0.6)
+    base = SystemConfig(
+        tasks=2 * m,
+        processors=m,
+        normalized_utilization=0.5,
+        max_vertices=20 if quick else 30,
+    )
+    shapes = [
+        ("Erdos-Renyi p=0.05 (parallel)", replace(base, edge_probability=0.05)),
+        ("Erdos-Renyi p=0.2", replace(base, edge_probability=0.2)),
+        ("Erdos-Renyi p=0.5", replace(base, edge_probability=0.5)),
+        ("Erdos-Renyi p=0.8 (chain-like)", replace(base, edge_probability=0.8)),
+        ("nested fork-join", replace(base, dag_kind="nested_fork_join")),
+        ("layered", replace(base, dag_kind="layered")),
+        ("series-parallel", replace(base, dag_kind="series_parallel")),
+    ]
+    table = Table(
+        title=f"EXP-D: FEDCONS acceptance vs DAG structure (m={m})",
+        columns=["DAG family", *(f"U/m={u}" for u in utilizations)],
+    )
+    for label, cfg in shapes:
+        points = acceptance_sweep(
+            cfg, utilizations, ["FEDCONS"], samples=samples, seed=seed
+        )
+        table.add_row(label, *(p.acceptance["FEDCONS"] for p in points))
+    table.notes.append(
+        "sparser (more parallel) DAGs have short critical paths, so the "
+        "generator's tight-deadline draws produce high densities (vol >> D); "
+        "each such task claims a MINPROCS cluster and the platform saturates "
+        "earlier.  Chain-like DAGs stay low-density and partition easily."
+    )
+    return [table]

@@ -1,0 +1,47 @@
+"""FIG1: the paper's Figure 1 / Example 1, recomputed.
+
+Checks every quantity the paper states for the example task (``len = 6``,
+``vol = 9``, ``delta = 9/16``, ``u = 9/20``, low-density) and shows the List
+Scheduling templates MINPROCS would consider on 1..3 processors.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.list_scheduling import graham_makespan_bound, list_schedule
+from repro.experiments.reporting import Table
+from repro.paper.figure1 import figure1_task
+
+__all__ = ["run"]
+
+
+def run(samples: int = 0, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Recompute Example 1 and the task's LS makespans (deterministic)."""
+    task = figure1_task()
+    quantities = Table(
+        title="FIG1: Example 1 quantities (paper values: len=6 vol=9 "
+        "delta=9/16 u=9/20, low-density)",
+        columns=["quantity", "measured", "paper"],
+    )
+    quantities.add_row("|V|", len(task.dag), 5)
+    quantities.add_row("|E|", len(task.dag.edges), 5)
+    quantities.add_row("len", task.span, 6)
+    quantities.add_row("vol", task.volume, 9)
+    quantities.add_row("density", task.density, str(Fraction(9, 16)))
+    quantities.add_row("utilization", task.utilization, str(Fraction(9, 20)))
+    quantities.add_row("high-density?", task.is_high_density, False)
+
+    schedules = Table(
+        title="FIG1: LS templates of tau_1's DAG on 1..3 processors",
+        columns=["m", "LS makespan", "Graham bound", "meets D=16?"],
+    )
+    for m in (1, 2, 3):
+        schedule = list_schedule(task.dag, m)
+        schedules.add_row(
+            m,
+            schedule.makespan,
+            graham_makespan_bound(task.dag, m),
+            schedule.meets_deadline(task.deadline),
+        )
+    return [quantities, schedules]

@@ -1,0 +1,74 @@
+"""EXP-I: EDF vs deadline-monotonic fixed priority on the shared pool.
+
+The paper's shared processors run preemptive EDF; industrial RTOS kernels
+often provide fixed priorities only.  This experiment quantifies the
+acceptance cost of swapping the pool policy (everything else identical):
+FEDCONS with DBF*/EDF admission (the paper) vs the exact-RTA and linear-RBF
+deadline-monotonic variants of :mod:`repro.extensions.fixed_priority_pool`.
+
+EDF dominates DM on a single processor (optimality), so the EDF column
+should upper-bound the exact-DM column; the interesting quantity is the
+size of the gap, and whether the *approximate* EDF admission (DBF*) still
+beats the *exact* DM admission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fedcons import fedcons
+from repro.experiments.reporting import Table
+from repro.extensions.fixed_priority_pool import FpAdmission, fedcons_fp
+from repro.generation.tasksets import SystemConfig, generate_system
+
+__all__ = ["run"]
+
+
+def run(samples: int = 150, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Acceptance of EDF vs deadline-monotonic shared pools on shared workloads."""
+    if quick:
+        samples = min(samples, 25)
+    m = 8
+    table = Table(
+        title=f"EXP-I: shared-pool policy ablation (m={m}): EDF (paper) vs "
+        "deadline-monotonic FP",
+        columns=[
+            "U/m (target)",
+            "EDF + DBF* (paper)",
+            "DM + exact RTA",
+            "DM + linear RBF",
+        ],
+    )
+    for norm_util in (0.3, 0.4, 0.5, 0.6, 0.7):
+        cfg = SystemConfig(
+            tasks=2 * m,
+            processors=m,
+            normalized_utilization=norm_util,
+            max_vertices=15 if quick else 25,
+        )
+        rng = np.random.default_rng(seed * 92821 + int(norm_util * 1000))
+        counts = {"edf": 0, "dm_exact": 0, "dm_rbf": 0}
+        for _ in range(samples):
+            system = generate_system(cfg, rng)
+            if fedcons(system, m).success:
+                counts["edf"] += 1
+            if fedcons_fp(system, m, admission=FpAdmission.RTA_EXACT).success:
+                counts["dm_exact"] += 1
+            if fedcons_fp(system, m, admission=FpAdmission.RBF_APPROX).success:
+                counts["dm_rbf"] += 1
+        table.add_row(
+            norm_util,
+            counts["edf"] / samples,
+            counts["dm_exact"] / samples,
+            counts["dm_rbf"] / samples,
+        )
+    table.notes.append(
+        "the dedicated clusters are identical in all three columns; only the "
+        "low-density pool differs.  EDF is optimal per processor, yet the "
+        "paper's column pairs it with the *approximate* DBF* admission -- at "
+        "moderate loads the exact-RTA DM admission recovers more than DM's "
+        "policy inferiority costs, so it can sit above the EDF+DBF* column. "
+        "The linear-RBF DM test, the like-for-like approximate comparison, "
+        "trails EDF+DBF* throughout."
+    )
+    return [table]

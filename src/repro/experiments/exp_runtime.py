@@ -1,0 +1,59 @@
+"""EXP-G: analysis run-time scaling.
+
+Section III notes the underlying problems are strongly NP-hard, yet FEDCONS
+itself is fast: MINPROCS runs at most ``m`` List-Scheduling passes (each
+``O(|V| log |V| + |E|)``) per high-density task, and PARTITION is
+``O(n * m_r)`` demand evaluations.  This experiment measures wall-clock cost
+of the full analysis as task count and DAG size grow.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fedcons import fedcons
+from repro.experiments.reporting import Table
+from repro.generation.tasksets import SystemConfig, generate_system
+
+__all__ = ["run"]
+
+
+def _time_analysis(cfg: SystemConfig, samples: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    systems = [generate_system(cfg, rng) for _ in range(samples)]
+    start = time.perf_counter()
+    for system in systems:
+        fedcons(system, cfg.processors)
+    return (time.perf_counter() - start) / samples
+
+
+def run(samples: int = 20, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Wall-clock cost of the FEDCONS analysis vs task count and DAG size."""
+    if quick:
+        samples = min(samples, 5)
+    by_tasks = Table(
+        title="EXP-G: FEDCONS analysis time vs task count (m=16, |V|<=30)",
+        columns=["n tasks", "mean analysis time (ms)"],
+    )
+    for n in (8, 16, 32, 64):
+        cfg = SystemConfig(
+            tasks=n, processors=16, normalized_utilization=0.5, max_vertices=30
+        )
+        by_tasks.add_row(n, 1000.0 * _time_analysis(cfg, samples, seed + n))
+
+    by_vertices = Table(
+        title="EXP-G: FEDCONS analysis time vs DAG size (m=16, n=16 tasks)",
+        columns=["|V| per DAG", "mean analysis time (ms)"],
+    )
+    for size in (10, 25, 50, 100):
+        cfg = SystemConfig(
+            tasks=16,
+            processors=16,
+            normalized_utilization=0.5,
+            min_vertices=size,
+            max_vertices=size,
+        )
+        by_vertices.add_row(size, 1000.0 * _time_analysis(cfg, samples, seed + size))
+    return [by_tasks, by_vertices]

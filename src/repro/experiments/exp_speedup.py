@@ -1,0 +1,63 @@
+"""THM1: empirical speedup factors of FEDCONS vs the 3 - 1/m bound.
+
+For random constrained-deadline systems we measure FEDCONS's minimum
+accepting speed and divide by the necessary-feasibility speed bound (the
+least speed *any* scheduler could need).  Theorem 1 guarantees the true
+speedup factor is at most ``3 - 1/m``; the measured ratio upper-bounds the
+true factor per instance, and the paper's closing note predicts typical
+ratios far below the bound -- this experiment quantifies "far below".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.speedup import (
+    empirical_speedup_factor,
+    theorem1_bound,
+)
+from repro.experiments.reporting import Table
+from repro.generation.tasksets import SystemConfig, generate_system
+
+__all__ = ["run"]
+
+
+def run(samples: int = 50, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Distribution of measured speedup ratios across platform sizes."""
+    if quick:
+        samples = min(samples, 10)
+    table = Table(
+        title="THM1: measured speedup ratio s_FEDCONS / s_necessary "
+        "(Theorem 1 bound: 3 - 1/m)",
+        columns=["m", "samples", "mean", "p95", "max", "bound 3-1/m"],
+    )
+    for m in (2, 4, 8):
+        cfg = SystemConfig(
+            tasks=max(3, m // 2 + 2),
+            processors=m,
+            normalized_utilization=0.4,
+            max_vertices=15 if quick else 25,
+        )
+        rng = np.random.default_rng(seed * 7919 + m)
+        ratios: list[float] = []
+        for _ in range(samples):
+            system = generate_system(cfg, rng)
+            ratio = empirical_speedup_factor(system, m, tolerance=1e-2)
+            if math.isfinite(ratio):
+                ratios.append(ratio)
+        data = np.asarray(ratios)
+        table.add_row(
+            m,
+            len(ratios),
+            float(data.mean()),
+            float(np.percentile(data, 95)),
+            float(data.max()),
+            theorem1_bound(m),
+        )
+    table.notes.append(
+        "ratios are instance-wise *upper bounds* on FEDCONS's true speedup "
+        "factor (the denominator lower-bounds the optimal scheduler's speed)."
+    )
+    return [table]

@@ -1,0 +1,76 @@
+"""EXP-M: characterization of the random workloads themselves.
+
+The paper stresses that schedulability results are "necessarily deeply
+influenced by the manner in which we generate our task systems".  This
+experiment turns that caveat into numbers: for each deadline-ratio range of
+the generator it reports what the produced tasks actually look like -- the
+share of high-density tasks (the ones entering the MINPROCS phase), mean
+density, structural parallelism ``vol/len``, and the processors a lone task
+demands -- so the acceptance curves of EXP-A/C/D can be read against the
+workload's composition rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.exp_deadline_ratio import RATIO_RANGES
+from repro.experiments.reporting import Table
+from repro.generation.tasksets import SystemConfig, generate_system
+
+__all__ = ["run"]
+
+
+def run(samples: int = 100, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Composition statistics of the random workload generator."""
+    if quick:
+        samples = min(samples, 20)
+    m = 8
+    table = Table(
+        title=f"EXP-M: generator characterization at U/m=0.5 "
+        f"(m={m}, n={2 * m} tasks per system)",
+        columns=[
+            "deadline range",
+            "high-density share",
+            "mean density",
+            "mean vol/len",
+            "mean lone-task proc demand",
+        ],
+    )
+    for label, ratio in RATIO_RANGES:
+        cfg = SystemConfig(
+            tasks=2 * m,
+            processors=m,
+            normalized_utilization=0.5,
+            deadline_ratio=ratio,
+            max_vertices=15 if quick else 25,
+        )
+        rng = np.random.default_rng(seed * 22801763489 % (2**31) + int(ratio[0] * 100))
+        high = 0
+        total = 0
+        densities: list[float] = []
+        parallelism: list[float] = []
+        demands: list[float] = []
+        for _ in range(samples):
+            system = generate_system(cfg, rng)
+            for task in system:
+                total += 1
+                if task.is_high_density:
+                    high += 1
+                densities.append(task.density)
+                parallelism.append(task.volume / task.span)
+                demands.append(task.minimum_processors_lower_bound())
+        table.add_row(
+            label,
+            high / total,
+            float(np.mean(densities)),
+            float(np.mean(parallelism)),
+            float(np.mean(demands)),
+        )
+    table.notes.append(
+        "the tight range pushes most tasks into the high-density regime "
+        "(each claiming a cluster) -- exactly where EXP-C's acceptance "
+        "collapses; structural parallelism vol/len is deadline-independent "
+        "by construction."
+    )
+    return [table]

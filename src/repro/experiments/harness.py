@@ -1,0 +1,122 @@
+"""Acceptance-ratio sweep machinery shared by the schedulability experiments.
+
+An *algorithm* here is any schedulability decision: a callable taking a
+:class:`~repro.model.TaskSystem` and a processor count and returning a bool.
+The registry exposes FEDCONS, its baselines, and the individual global-EDF
+tests under the names the experiment tables use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.baselines.global_edf import (
+    gedf_any_test,
+    gedf_density_test,
+    gedf_load_test,
+    gedf_response_time_test,
+)
+from repro.baselines.partitioned_sequential import partitioned_sequential
+from repro.core.fedcons import fedcons
+from repro.experiments.reporting import Table
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.taskset import TaskSystem
+
+__all__ = ["ALGORITHMS", "SweepPoint", "acceptance_sweep", "sweep_table"]
+
+Algorithm = Callable[[TaskSystem, int], bool]
+
+
+def _fedcons_accepts(system: TaskSystem, m: int) -> bool:
+    return fedcons(system, m).success
+
+
+def _partitioned_accepts(system: TaskSystem, m: int) -> bool:
+    return partitioned_sequential(system, m).success
+
+
+#: Named schedulability decisions usable in sweeps.
+ALGORITHMS: Mapping[str, Algorithm] = {
+    "FEDCONS": _fedcons_accepts,
+    "GEDF": gedf_any_test,
+    "GEDF-density": gedf_density_test,
+    "GEDF-load": gedf_load_test,
+    "GEDF-RTA": gedf_response_time_test,
+    "PARTITIONED": _partitioned_accepts,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Acceptance ratios of every algorithm at one sweep setting."""
+
+    normalized_utilization: float
+    achieved_utilization: float
+    samples: int
+    acceptance: dict[str, float]
+
+
+def acceptance_sweep(
+    config: SystemConfig,
+    utilizations: Sequence[float],
+    algorithms: Sequence[str],
+    samples: int,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Acceptance ratio of each algorithm across a normalized-utilization sweep.
+
+    For every target ``U_sum / m`` in *utilizations*, *samples* random
+    systems are generated (seeded deterministically per point so points are
+    independent and reproducible) and each algorithm votes on each system.
+    """
+    unknown = [name for name in algorithms if name not in ALGORITHMS]
+    if unknown:
+        raise AnalysisError(
+            f"unknown algorithm(s) {unknown}; available: {sorted(ALGORITHMS)}"
+        )
+    if samples < 1:
+        raise AnalysisError(f"samples must be >= 1, got {samples}")
+    points: list[SweepPoint] = []
+    for j, norm_util in enumerate(utilizations):
+        cfg = config.with_utilization(norm_util)
+        rng = np.random.default_rng(seed * 1_000_003 + j)
+        accepted = {name: 0 for name in algorithms}
+        achieved_total = 0.0
+        for _ in range(samples):
+            system = generate_system(cfg, rng)
+            achieved_total += system.total_utilization / cfg.processors
+            for name in algorithms:
+                if ALGORITHMS[name](system, cfg.processors):
+                    accepted[name] += 1
+        points.append(
+            SweepPoint(
+                normalized_utilization=norm_util,
+                achieved_utilization=achieved_total / samples,
+                samples=samples,
+                acceptance={
+                    name: accepted[name] / samples for name in algorithms
+                },
+            )
+        )
+    return points
+
+
+def sweep_table(
+    title: str, points: Iterable[SweepPoint], algorithms: Sequence[str]
+) -> Table:
+    """Render sweep points as a table: one row per utilization level."""
+    table = Table(
+        title=title,
+        columns=["U/m (target)", "U/m (achieved)", *algorithms],
+    )
+    for point in points:
+        table.add_row(
+            point.normalized_utilization,
+            point.achieved_utilization,
+            *(point.acceptance[name] for name in algorithms),
+        )
+    return table

@@ -1,0 +1,78 @@
+"""Result tables: the textual figures/tables every experiment emits.
+
+The paper's evaluation is reported as acceptance-ratio curves; this module
+renders them as fixed-width ASCII tables (one row per sweep point, one column
+per algorithm) and optionally CSV files, so each experiment's output is both
+human-readable and machine-comparable.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A titled rectangular result table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ReproError(
+                f"row has {len(values)} values but table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width ASCII rendering."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", header, sep]
+        for row in cells:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the table (with a title comment) as CSV."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([f"# {self.title}"])
+            writer.writerow(list(self.columns))
+            writer.writerows([list(r) for r in self.rows])
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column (for assertions in tests/benches)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ReproError(
+                f"table {self.title!r} has no column {name!r}"
+            ) from None
+        return [row[index] for row in self.rows]

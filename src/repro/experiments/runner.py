@@ -1,0 +1,154 @@
+"""Command-line entry point regenerating every table/figure of the evaluation.
+
+Usage (installed as ``fedcons-experiments``)::
+
+    fedcons-experiments --list
+    fedcons-experiments --experiment EXP-A --quick
+    fedcons-experiments --all --samples 100 --out results/
+
+Each experiment prints its ASCII tables to stdout; with ``--out`` the tables
+are also written as CSV files named after the experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.experiments import (
+    exp_ablation_partition,
+    exp_acceptance,
+    exp_arbitrary,
+    exp_baselines,
+    exp_breakdown,
+    exp_dag_shape,
+    exp_deadline_ratio,
+    exp_example2,
+    exp_fig1,
+    exp_fragmentation,
+    exp_minprocs,
+    exp_overhead,
+    exp_partition,
+    exp_pool_policy,
+    exp_reservation,
+    exp_response,
+    exp_runtime,
+    exp_simulation,
+    exp_speedup,
+    exp_workload,
+)
+from repro.experiments.reporting import Table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+Runner = Callable[..., list[Table]]
+
+#: Experiment id -> (description, runner)
+EXPERIMENTS: dict[str, tuple[str, Runner]] = {
+    "FIG1": ("paper Figure 1 / Example 1 recomputation", exp_fig1.run),
+    "EX2": ("paper Example 2: unbounded capacity augmentation", exp_example2.run),
+    "THM1": ("empirical speedup factors vs 3 - 1/m", exp_speedup.run),
+    "LEM1": ("MINPROCS cluster sizes vs lower bounds / optima", exp_minprocs.run),
+    "LEM2": ("PARTITION admission-test comparison", exp_partition.run),
+    "EXP-A": ("main acceptance-ratio experiment", exp_acceptance.run),
+    "EXP-B": ("FEDCONS vs baselines", exp_baselines.run),
+    "EXP-C": ("deadline-tightness sensitivity", exp_deadline_ratio.run),
+    "EXP-D": ("DAG-shape sensitivity", exp_dag_shape.run),
+    "EXP-E": ("simulation cross-validation", exp_simulation.run),
+    "EXP-F": ("PARTITION design-choice ablation", exp_ablation_partition.run),
+    "EXP-G": ("analysis run-time scaling", exp_runtime.run),
+    "EXT-H": ("arbitrary-deadline clamp pessimism (future work)", exp_arbitrary.run),
+    "EXP-I": ("shared-pool policy ablation: EDF vs DM fixed priority", exp_pool_policy.run),
+    "EXP-J": ("breakdown utilization on identical instances", exp_breakdown.run),
+    "EXP-K": ("preemption-overhead robustness of acceptances", exp_overhead.run),
+    "EXP-L": ("reservation-hosted pool budget premium", exp_reservation.run),
+    "EXP-M": ("random-workload characterization", exp_workload.run),
+    "EXP-N": ("analytic response-time headroom", exp_response.run),
+    "EXP-O": ("dedicated-cluster capacity fragmentation", exp_fragmentation.run),
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    samples: int | None = None,
+    seed: int = 0,
+    quick: bool = False,
+) -> list[Table]:
+    """Run one experiment by id and return its tables."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    kwargs: dict = {"seed": seed, "quick": quick}
+    if samples is not None:
+        kwargs["samples"] = samples
+    return runner(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module docstring for usage)."""
+    parser = argparse.ArgumentParser(
+        prog="fedcons-experiments",
+        description="Regenerate the evaluation of the DATE'15 federated "
+        "scheduling paper.",
+    )
+    parser.add_argument(
+        "--experiment",
+        "-e",
+        action="append",
+        default=[],
+        help="experiment id (repeatable); see --list",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--samples", type=int, default=None, help="override sample count"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--quick", action="store_true", help="small sample counts for smoke runs"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for CSV output"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"{key:<8} {description}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.all else args.experiment
+    if not targets:
+        parser.error("nothing to do: pass --experiment, --all, or --list")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for target in targets:
+        started = time.perf_counter()
+        try:
+            tables = run_experiment(
+                target, samples=args.samples, seed=args.seed, quick=args.quick
+            )
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        for i, table in enumerate(tables):
+            print(table.render())
+            print()
+            if args.out is not None:
+                safe = target.replace("-", "_").lower()
+                table.to_csv(args.out / f"{safe}_{i}.csv")
+        print(f"[{target} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

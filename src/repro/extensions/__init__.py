@@ -1,0 +1,35 @@
+"""Extensions beyond the paper's core contribution (its stated future work)."""
+
+from repro.extensions.reservations import (
+    Reservation,
+    ReservationPlan,
+    plan_reservations,
+)
+from repro.extensions.fixed_priority_pool import (
+    FpAdmission,
+    fedcons_fp,
+    partition_fp,
+)
+from repro.extensions.arbitrary_deadline import (
+    ClampingPessimism,
+    clamping_pessimism,
+    constrain,
+    fedcons_arbitrary,
+    necessary_conditions_arbitrary,
+    stretch_deadlines,
+)
+
+__all__ = [
+    "constrain",
+    "fedcons_arbitrary",
+    "necessary_conditions_arbitrary",
+    "clamping_pessimism",
+    "ClampingPessimism",
+    "stretch_deadlines",
+    "FpAdmission",
+    "fedcons_fp",
+    "partition_fp",
+    "Reservation",
+    "ReservationPlan",
+    "plan_reservations",
+]

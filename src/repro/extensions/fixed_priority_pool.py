@@ -1,0 +1,147 @@
+"""FEDCONS with a deadline-monotonic fixed-priority shared pool.
+
+The paper fixes preemptive EDF on the shared processors (and Lemma 2's
+``3 - 1/m`` speedup is proved for the EDF/DBF* combination).  Deployments in
+industry often mandate fixed-priority kernels, so this extension swaps the
+pool policy: low-density tasks are partitioned first-fit in deadline order
+with a *fixed-priority* admission test, and each shared processor runs
+preemptive deadline-monotonic scheduling at run time.
+
+The federated phase (MINPROCS templates for high-density tasks) is identical
+-- dedicated clusters replay templates regardless of the pool policy -- so
+this isolates exactly the EDF-vs-DM question, which experiment EXP-I
+measures.  Everything here is sound: admission uses the exact FP
+response-time analysis (or the linear FBB request-bound test).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import replace
+from enum import Enum
+
+from repro.errors import AnalysisError
+from repro.core.fedcons import FailureReason, FedConsResult, fedcons
+from repro.core.fixed_priority import (
+    deadline_monotonic,
+    fp_exact_test,
+    rbf_approx_test,
+)
+from repro.core.partition import PartitionResult
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+__all__ = ["FpAdmission", "partition_fp", "fedcons_fp"]
+
+
+class FpAdmission(Enum):
+    """Admission test for the fixed-priority shared pool."""
+
+    RTA_EXACT = "rta_exact"  # exact response-time analysis
+    RBF_APPROX = "rbf_approx"  # linear FBB request-bound test
+
+
+def _fits(bucket: list[SporadicTask], task: SporadicTask,
+          admission: FpAdmission) -> bool:
+    candidate = deadline_monotonic(bucket + [task])
+    if admission is FpAdmission.RTA_EXACT:
+        return fp_exact_test(candidate)
+    return rbf_approx_test(candidate)
+
+
+def partition_fp(
+    tasks: Sequence[SporadicDAGTask],
+    processors: int,
+    admission: FpAdmission = FpAdmission.RTA_EXACT,
+) -> PartitionResult:
+    """Deadline-ordered first-fit partitioning under DM fixed priorities.
+
+    Mirrors :func:`repro.core.partition.partition` with the per-processor
+    EDF test replaced by the fixed-priority one; returned buckets are
+    DM-schedulable on their processors.
+    """
+    if processors < 0:
+        raise AnalysisError(f"processor count must be >= 0, got {processors}")
+    for i, task in enumerate(tasks):
+        if task.is_high_density:
+            raise AnalysisError(
+                f"partition_fp received high-density task "
+                f"{task.name or f'#{i}'}"
+            )
+    named: list[SporadicTask] = []
+    back: dict[str, SporadicDAGTask] = {}
+    for i, task in enumerate(tasks):
+        sporadic = task.to_sporadic()
+        if not sporadic.name:
+            sporadic = SporadicTask(
+                sporadic.wcet, sporadic.deadline, sporadic.period,
+                name=f"task#{i}",
+            )
+        named.append(sporadic)
+        back[sporadic.name] = task
+
+    ordered = sorted(
+        enumerate(named), key=lambda pair: (pair[1].deadline, pair[0])
+    )
+    buckets: list[list[SporadicTask]] = [[] for _ in range(processors)]
+    for _, task in ordered:
+        for k in range(processors):
+            if _fits(buckets[k], task, admission):
+                buckets[k].append(task)
+                break
+        else:
+            return PartitionResult(
+                success=False,
+                assignment=tuple(tuple(b) for b in buckets),
+                processors=processors,
+                failed_task=task,
+                dag_tasks=back,
+            )
+    return PartitionResult(
+        success=True,
+        assignment=tuple(tuple(b) for b in buckets),
+        processors=processors,
+        dag_tasks=back,
+    )
+
+
+def fedcons_fp(
+    system: TaskSystem | Sequence[SporadicDAGTask],
+    processors: int,
+    admission: FpAdmission = FpAdmission.RTA_EXACT,
+) -> FedConsResult:
+    """FEDCONS with a deadline-monotonic fixed-priority shared pool.
+
+    Phase 1 (MINPROCS clusters) is byte-identical to the paper's algorithm;
+    phase 2 partitions under the fixed-priority admission test and the
+    shared processors run preemptive DM at run time.
+    """
+    if not isinstance(system, TaskSystem):
+        system = TaskSystem(system)
+    base = fedcons(system, processors)
+    if not base.success and base.reason is not FailureReason.PARTITION_PHASE:
+        # Structural infeasibility / cluster exhaustion is pool-policy-
+        # independent: phase 1 already failed, nothing for FP to change.
+        return base
+    # Phase 1 completed (base succeeded or failed only in its partition
+    # phase); re-run phase 2 with the FP partitioner over the same pool.
+    part = partition_fp(
+        list(system.low_density_tasks),
+        len(base.shared_processors),
+        admission=admission,
+    )
+    if not part.success:
+        failed = None
+        if part.failed_task is not None:
+            failed = part.dag_tasks.get(part.failed_task.name)
+        return replace(
+            base,
+            success=False,
+            partition=part,
+            reason=FailureReason.PARTITION_PHASE,
+            failed_task=failed,
+        )
+    return replace(
+        base, success=True, partition=part, reason=None, failed_task=None
+    )

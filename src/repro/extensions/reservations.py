@@ -1,0 +1,163 @@
+"""Reservation-hosted shared pool: hierarchical federated scheduling.
+
+FEDCONS assumes the shared processors belong to the DAG system outright.  In
+mixed deployments the low-density pool must often coexist with other
+software, which component-based scheduling solves by wrapping each pool
+processor's task set in a **periodic reservation** ``(Pi, Theta)`` served by
+the host: the tasks see the periodic-resource supply of
+:mod:`repro.analysis.resource_model`, the host sees one budget-``Theta``
+period-``Pi`` server per pool processor (the direction of Ueter et al.'s
+reservation-based federated scheduling, built here on Shin & Lee's model).
+
+:func:`plan_reservations` sizes the minimal budget for each PARTITION bucket
+at a given server period.  The **budget premium** -- total reserved rate
+over the bucket's raw utilization -- is the price of supply uncertainty:
+it grows as the server period lengthens relative to task deadlines
+(starvation gaps eat into slack), which experiment EXP-L sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.analysis.resource_model import (
+    edf_schedulable_under_supply,
+    minimum_budget,
+)
+from repro.core.fedcons import FedConsResult
+
+__all__ = ["Reservation", "ReservationPlan", "plan_reservations"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A periodic server hosting one shared-pool processor's bucket."""
+
+    processor: int  # physical shared-pool processor index
+    period: float
+    budget: float
+    bucket_utilization: float
+
+    @property
+    def rate(self) -> float:
+        """Reserved fraction of the host processor."""
+        return self.budget / self.period
+
+    @property
+    def premium(self) -> float:
+        """Reserved rate above the bucket's raw utilization."""
+        return self.rate - self.bucket_utilization
+
+
+@dataclass(frozen=True)
+class ReservationPlan:
+    """Reservations for every non-empty shared-pool processor."""
+
+    success: bool
+    reservations: tuple[Reservation, ...]
+    failed_processor: int | None = None
+
+    @property
+    def total_rate(self) -> float:
+        return sum(r.rate for r in self.reservations)
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(r.bucket_utilization for r in self.reservations)
+
+    @property
+    def total_premium(self) -> float:
+        return self.total_rate - self.total_utilization
+
+    def describe(self) -> str:
+        lines = [
+            f"{'proc':>5}{'period':>10}{'budget':>10}{'rate':>8}"
+            f"{'util':>8}{'premium':>9}"
+        ]
+        for r in self.reservations:
+            lines.append(
+                f"P{r.processor:<4}{r.period:>10.3f}{r.budget:>10.3f}"
+                f"{r.rate:>8.3f}{r.bucket_utilization:>8.3f}{r.premium:>9.3f}"
+            )
+        lines.append(
+            f"total reserved rate {self.total_rate:.3f} for utilization "
+            f"{self.total_utilization:.3f} (premium {self.total_premium:.3f})"
+        )
+        return "\n".join(lines)
+
+
+def plan_reservations(
+    deployment: FedConsResult,
+    server_period: float | None = None,
+    period_fraction: float = 0.25,
+    tolerance: float = 1e-4,
+) -> ReservationPlan:
+    """Size one periodic reservation per non-empty shared-pool processor.
+
+    Parameters
+    ----------
+    deployment:
+        A successful FEDCONS result whose partition buckets are to be
+        hosted.
+    server_period:
+        The reservation period ``Pi`` used for every bucket.  Defaults to
+        *period_fraction* times the bucket's smallest relative deadline --
+        short enough that the worst-case ``2 * (Pi - Theta)`` starvation gap
+        leaves room, long enough to keep server-switching plausible.
+    period_fraction:
+        Used only when *server_period* is None.
+
+    Returns
+    -------
+    ReservationPlan
+        ``success=False`` (with the offending processor) when some bucket is
+        unschedulable under any budget at the chosen period -- a too-long
+        server period relative to the bucket's deadlines.
+
+    Raises
+    ------
+    AnalysisError
+        If *deployment* is not a successful result or parameters are
+        non-positive.
+    """
+    if not deployment.success or deployment.partition is None:
+        raise AnalysisError("reservations require a successful deployment")
+    if server_period is not None and server_period <= 0:
+        raise AnalysisError(f"server period must be positive, got {server_period}")
+    if not 0 < period_fraction <= 1:
+        raise AnalysisError(
+            f"period_fraction must be in (0, 1], got {period_fraction}"
+        )
+    reservations: list[Reservation] = []
+    for k, bucket in enumerate(deployment.partition.assignment):
+        if not bucket:
+            continue
+        physical = deployment.shared_processors[k]
+        tasks = list(bucket)
+        period = (
+            server_period
+            if server_period is not None
+            else period_fraction * min(t.deadline for t in tasks)
+        )
+        budget = minimum_budget(tasks, period, tolerance=tolerance)
+        if budget is None:
+            return ReservationPlan(
+                success=False,
+                reservations=tuple(reservations),
+                failed_processor=physical,
+            )
+        # Guard: the sized budget really does host the bucket.
+        if not edf_schedulable_under_supply(tasks, period, budget):
+            raise AnalysisError(
+                "internal error: sized budget fails its own admission test"
+            )
+        reservations.append(
+            Reservation(
+                processor=physical,
+                period=period,
+                budget=budget,
+                bucket_utilization=sum(t.utilization for t in tasks),
+            )
+        )
+    return ReservationPlan(success=True, reservations=tuple(reservations))

@@ -1,0 +1,41 @@
+"""Random workload generation: DAG structures, parameters, full task systems."""
+
+from repro.generation.dag_generators import (
+    erdos_renyi_dag,
+    layered_dag,
+    nested_fork_join,
+    series_parallel,
+)
+from repro.generation.parameters import (
+    constrained_deadline,
+    loguniform,
+    loguniform_wcet_sampler,
+    period_for_utilization,
+    randfixedsum,
+    uniform_wcet_sampler,
+    uunifast,
+)
+from repro.generation.tasksets import (
+    SystemConfig,
+    generate_dag,
+    generate_system,
+    generate_task,
+)
+
+__all__ = [
+    "erdos_renyi_dag",
+    "layered_dag",
+    "nested_fork_join",
+    "series_parallel",
+    "uunifast",
+    "randfixedsum",
+    "loguniform",
+    "uniform_wcet_sampler",
+    "loguniform_wcet_sampler",
+    "period_for_utilization",
+    "constrained_deadline",
+    "SystemConfig",
+    "generate_dag",
+    "generate_task",
+    "generate_system",
+]

@@ -1,0 +1,221 @@
+"""Random DAG structure generators.
+
+The paper's experiments use "randomly-generated task systems" without
+specifying the generator, noting that results "are necessarily deeply
+influenced by the manner in which we generate our task systems".  We
+implement the three standard generators of the sporadic-DAG literature so
+EXP-D can sweep across them:
+
+:func:`erdos_renyi_dag`
+    the ordered-pair G(n, p) method (edge ``i -> j`` for ``i < j`` with
+    probability ``p``) used by e.g. Cordeiro et al. and most DAG-scheduling
+    evaluations;
+:func:`layered_dag`
+    layer-by-layer construction with forward edges only between consecutive
+    layers -- produces wide, shallow graphs typical of signal-processing
+    pipelines;
+:func:`nested_fork_join`
+    recursive fork-join nesting, the structure produced by parallel-for /
+    spawn-sync programming models (Saifullah et al., RTSS 2011);
+:func:`series_parallel`
+    random series/parallel composition, a superset of fork-join shapes.
+
+All generators take an explicit ``numpy.random.Generator`` and a WCET
+sampler, and return a validated :class:`~repro.model.dag.DAG`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.model.dag import DAG
+
+__all__ = [
+    "WcetSampler",
+    "erdos_renyi_dag",
+    "layered_dag",
+    "nested_fork_join",
+    "series_parallel",
+]
+
+WcetSampler = Callable[[np.random.Generator], float]
+
+
+def _default_wcet(rng: np.random.Generator) -> float:
+    return float(rng.integers(1, 101))
+
+
+def erdos_renyi_dag(
+    vertices: int,
+    edge_probability: float,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Ordered G(n, p): edge ``i -> j`` (``i < j``) with probability *p*.
+
+    Raises
+    ------
+    GenerationError
+        If *vertices* < 1 or *edge_probability* is outside ``[0, 1]``.
+    """
+    if vertices < 1:
+        raise GenerationError(f"need at least one vertex, got {vertices}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GenerationError(
+            f"edge probability must be in [0, 1], got {edge_probability}"
+        )
+    wcets = {i: wcet_sampler(rng) for i in range(vertices)}
+    edges = [
+        (i, j)
+        for i in range(vertices)
+        for j in range(i + 1, vertices)
+        if rng.random() < edge_probability
+    ]
+    return DAG(wcets, edges)
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    edge_probability: float,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Layered DAG: *layers* layers of 1..*width* vertices, forward edges
+    between consecutive layers with probability *edge_probability*; every
+    non-first-layer vertex is guaranteed at least one predecessor so the
+    layer structure is real.
+    """
+    if layers < 1 or width < 1:
+        raise GenerationError("layers and width must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GenerationError(
+            f"edge probability must be in [0, 1], got {edge_probability}"
+        )
+    wcets: dict[int, float] = {}
+    layer_members: list[list[int]] = []
+    next_id = 0
+    for _ in range(layers):
+        size = int(rng.integers(1, width + 1))
+        members = list(range(next_id, next_id + size))
+        next_id += size
+        for v in members:
+            wcets[v] = wcet_sampler(rng)
+        layer_members.append(members)
+    edges: list[tuple[int, int]] = []
+    for prev, cur in zip(layer_members, layer_members[1:]):
+        for v in cur:
+            preds = [u for u in prev if rng.random() < edge_probability]
+            if not preds:
+                preds = [prev[int(rng.integers(0, len(prev)))]]
+            edges.extend((u, v) for u in preds)
+    return DAG(wcets, edges)
+
+
+def nested_fork_join(
+    depth: int,
+    max_branches: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+    branch_probability: float = 0.8,
+) -> DAG:
+    """Recursively nested fork-join DAG.
+
+    A segment is either a single job or a fork of 2..*max_branches* parallel
+    sub-segments between a fork job and a join job; recursion stops at
+    *depth* or with probability ``1 - branch_probability`` per level.
+    """
+    if depth < 0 or max_branches < 2:
+        raise GenerationError("depth must be >= 0 and max_branches >= 2")
+    wcets: dict[int, float] = {}
+    edges: list[tuple[int, int]] = []
+    counter = [0]
+
+    def new_job() -> int:
+        vid = counter[0]
+        counter[0] += 1
+        wcets[vid] = wcet_sampler(rng)
+        return vid
+
+    def build(level: int) -> tuple[int, int]:
+        """Build one segment; returns its (entry, exit) vertices."""
+        if level >= depth or rng.random() > branch_probability:
+            v = new_job()
+            return v, v
+        fork = new_job()
+        join = new_job()
+        branches = int(rng.integers(2, max_branches + 1))
+        for _ in range(branches):
+            entry, exit_ = build(level + 1)
+            edges.append((fork, entry))
+            edges.append((exit_, join))
+        return fork, join
+
+    build(0)
+    return DAG(wcets, edges)
+
+
+def series_parallel(
+    target_vertices: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+    parallel_probability: float = 0.5,
+) -> DAG:
+    """Random series-parallel DAG with roughly *target_vertices* vertices.
+
+    Starts from a single job and repeatedly expands a random job into either
+    a series pair or a parallel fork-join diamond until the target size is
+    reached (the final size may overshoot by up to three vertices, the size
+    of one diamond expansion).
+    """
+    if target_vertices < 1:
+        raise GenerationError(f"need at least one vertex, got {target_vertices}")
+    wcets: dict[int, float] = {0: wcet_sampler(rng)}
+    # adjacency kept mutable during construction
+    succ: dict[int, set[int]] = {0: set()}
+    pred: dict[int, set[int]] = {0: set()}
+    counter = [1]
+
+    def new_job() -> int:
+        vid = counter[0]
+        counter[0] += 1
+        wcets[vid] = wcet_sampler(rng)
+        succ[vid] = set()
+        pred[vid] = set()
+        return vid
+
+    def expand_series(v: int) -> None:
+        w = new_job()
+        for s in list(succ[v]):
+            succ[v].discard(s)
+            pred[s].discard(v)
+            succ[w].add(s)
+            pred[s].add(w)
+        succ[v].add(w)
+        pred[w].add(v)
+
+    def expand_parallel(v: int) -> None:
+        join = new_job()
+        for s in list(succ[v]):
+            succ[v].discard(s)
+            pred[s].discard(v)
+            succ[join].add(s)
+            pred[s].add(join)
+        for _ in range(2):
+            b = new_job()
+            succ[v].add(b)
+            pred[b].add(v)
+            succ[b].add(join)
+            pred[join].add(b)
+
+    while counter[0] < target_vertices:
+        v = int(rng.integers(0, counter[0]))
+        if rng.random() < parallel_probability:
+            expand_parallel(v)
+        else:
+            expand_series(v)
+    edges = [(u, v) for u, vs in succ.items() for v in vs]
+    return DAG(wcets, edges)

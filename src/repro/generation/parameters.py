@@ -1,0 +1,202 @@
+"""Utilization, period, deadline, and WCET parameter generation.
+
+The standard recipes of the real-time evaluation literature:
+
+* :func:`uunifast` [Bini & Buttazzo 2005] splits a total utilization ``U``
+  uniformly over ``n`` tasks.  Unlike the sequential-task setting, per-task
+  utilizations above one are *legal* for DAG tasks (internal parallelism),
+  so no discard-and-retry loop is needed;
+* periods are derived from volumes: given a DAG with volume ``vol`` and a
+  target utilization ``u``, set ``T = vol / u`` (the convention of Li et
+  al.'s federated-scheduling experiments);
+* constrained deadlines interpolate between the structural minimum and the
+  period: ``D = len + x * (T - len)`` with ``x ~ U[lo, hi]``; ``x < vol/T``
+  regions produce high-density tasks, ``x = 1`` recovers implicit deadlines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GenerationError
+
+__all__ = [
+    "uunifast",
+    "randfixedsum",
+    "loguniform",
+    "uniform_wcet_sampler",
+    "loguniform_wcet_sampler",
+    "period_for_utilization",
+    "constrained_deadline",
+]
+
+
+def uunifast(n: int, total_utilization: float, rng: np.random.Generator) -> list[float]:
+    """UUniFast: *n* utilizations summing to *total_utilization*.
+
+    The classic unbiased simplex sampling of Bini & Buttazzo (2005).
+
+    Raises
+    ------
+    GenerationError
+        If ``n < 1`` or *total_utilization* is not positive.
+    """
+    if n < 1:
+        raise GenerationError(f"need n >= 1 tasks, got {n}")
+    if total_utilization <= 0:
+        raise GenerationError(
+            f"total utilization must be positive, got {total_utilization}"
+        )
+    utilizations: list[float] = []
+    remaining = total_utilization
+    for i in range(n - 1, 0, -1):
+        next_remaining = remaining * float(rng.random()) ** (1.0 / i)
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def randfixedsum(
+    n: int,
+    total: float,
+    rng: np.random.Generator,
+    low: float = 0.0,
+    high: float | None = None,
+) -> list[float]:
+    """Stafford's RandFixedSum: *n* values in ``[low, high]`` summing to *total*,
+    sampled uniformly from that simplex slice.
+
+    The generator recommended by Emberson, Stafford & Davis ("Techniques for
+    the synthesis of multiprocessor tasksets", WATERS 2010) as the unbiased
+    alternative to UUniFast when per-value bounds matter.  With the default
+    bounds (``low=0``, ``high=total``) it agrees with UUniFast's target
+    distribution.
+
+    Raises
+    ------
+    GenerationError
+        If the constraints are unsatisfiable (``n*low <= total <= n*high``
+        must hold) or *n* < 1.
+    """
+    if n < 1:
+        raise GenerationError(f"need n >= 1 values, got {n}")
+    if high is None:
+        high = total
+    if not low <= high:
+        raise GenerationError(f"need low <= high, got ({low}, {high})")
+    if not n * low - 1e-12 <= total <= n * high + 1e-12:
+        raise GenerationError(
+            f"sum {total} unreachable with {n} values in [{low}, {high}]"
+        )
+    if n == 1:
+        return [float(total)]
+    if high == low:
+        return [float(low)] * n
+
+    # Rescale to the unit cube.
+    u = (total - n * low) / (high - low)
+    k = int(max(min(math.floor(u), n - 1), 0))
+    s = max(min(u, float(k + 1)), float(k))
+    s1 = s - np.arange(k, k - n, -1, dtype=float)
+    s2 = np.arange(k + n, k, -1, dtype=float) - s
+
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[:i] / i
+        tmp2 = w[i - 2, 0:i] * s2[n - i : n] / i
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[:i]
+        t[i - 2, 0:i] = (tmp2 / tmp3) * tmp4 + (1 - tmp1 / tmp3) * (~tmp4)
+
+    x = np.zeros(n)
+    rt = rng.uniform(size=n - 1)
+    rs = rng.uniform(size=n - 1)
+    s_work = s
+    j = k + 1
+    sm = 0.0
+    pr = 1.0
+    for i in range(n - 1, 0, -1):
+        e = 1.0 if rt[n - i - 1] <= t[i - 1, j - 1] else 0.0
+        sx = rs[n - i - 1] ** (1.0 / i)
+        sm += (1.0 - sx) * pr * s_work / (i + 1)
+        pr *= sx
+        x[n - i - 1] = sm + pr * e
+        s_work -= e
+        j -= int(e)
+    x[n - 1] = sm + pr * s_work
+
+    rng.shuffle(x)
+    return [float(v) for v in (high - low) * x + low]
+
+
+def loguniform(
+    low: float, high: float, rng: np.random.Generator
+) -> float:
+    """A draw from the log-uniform distribution on ``[low, high]``."""
+    if not 0 < low <= high:
+        raise GenerationError(f"need 0 < low <= high, got ({low}, {high})")
+    return float(math.exp(rng.uniform(math.log(low), math.log(high))))
+
+
+def uniform_wcet_sampler(low: int = 1, high: int = 100):
+    """A WCET sampler drawing integers uniformly from ``[low, high]``."""
+    if not 1 <= low <= high:
+        raise GenerationError(f"need 1 <= low <= high, got ({low}, {high})")
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(rng.integers(low, high + 1))
+
+    return sample
+
+
+def loguniform_wcet_sampler(low: float = 1.0, high: float = 100.0):
+    """A WCET sampler drawing log-uniformly from ``[low, high]``."""
+    if not 0 < low <= high:
+        raise GenerationError(f"need 0 < low <= high, got ({low}, {high})")
+
+    def sample(rng: np.random.Generator) -> float:
+        return loguniform(low, high, rng)
+
+    return sample
+
+
+def period_for_utilization(volume: float, utilization: float) -> float:
+    """``T = vol / u`` -- the period giving a DAG task utilization ``u``."""
+    if volume <= 0 or utilization <= 0:
+        raise GenerationError("volume and utilization must be positive")
+    return volume / utilization
+
+
+def constrained_deadline(
+    span: float,
+    period: float,
+    rng: np.random.Generator,
+    ratio_range: tuple[float, float] = (0.0, 1.0),
+) -> float:
+    """``D = len + x * (T - len)`` with ``x ~ U[ratio_range]``.
+
+    Guarantees ``len <= D <= T`` (structurally feasible and constrained).
+    When ``T < len`` the task cannot be constrained-deadline-feasible at all;
+    a :class:`~repro.errors.GenerationError` is raised so generators can
+    resample.
+    """
+    lo, hi = ratio_range
+    if not 0.0 <= lo <= hi <= 1.0:
+        raise GenerationError(
+            f"ratio range must satisfy 0 <= lo <= hi <= 1, got ({lo}, {hi})"
+        )
+    if period < span - 1e-9 * max(1.0, span):
+        raise GenerationError(
+            f"period {period:g} below critical path {span:g}; task infeasible"
+        )
+    period = max(period, span)
+    x = float(rng.uniform(lo, hi))
+    return span + x * (period - span)

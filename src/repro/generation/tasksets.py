@@ -1,0 +1,163 @@
+"""Random task-system generation for the schedulability experiments.
+
+The recipe (following Li et al. ECRTS'14 and the common practice of the
+sporadic-DAG literature, since the paper does not specify its generator):
+
+1. draw per-task utilizations ``u_1..u_n`` summing to the target
+   ``U_sum = normalized_utilization * m`` with UUniFast;
+2. generate each task's DAG structure (Erdos-Renyi / layered / nested
+   fork-join / series-parallel) and integer WCETs, giving ``vol_i`` and
+   ``len_i``;
+3. set ``T_i = vol_i / u_i``.  If the draw demands more parallelism than the
+   DAG has (``u_i > vol_i / len_i``, i.e. ``T_i < len_i``), the DAG is
+   resampled a few times, then ``u_i`` is clamped to the DAG's maximum
+   sustainable utilization -- experiments always report the *achieved*
+   utilization, so clamping cannot bias acceptance ratios;
+4. set ``D_i = len_i + x * (T_i - len_i)`` with ``x`` uniform in the
+   configured deadline-ratio range.  Small ``x`` yields tight deadlines and
+   (when ``D_i <= vol_i``) high-density tasks; ``x = 1`` recovers implicit
+   deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.generation.dag_generators import (
+    erdos_renyi_dag,
+    layered_dag,
+    nested_fork_join,
+    series_parallel,
+)
+from repro.generation.parameters import (
+    constrained_deadline,
+    randfixedsum,
+    uniform_wcet_sampler,
+    uunifast,
+)
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+__all__ = ["SystemConfig", "generate_dag", "generate_task", "generate_system"]
+
+_DAG_KINDS = ("erdos_renyi", "layered", "nested_fork_join", "series_parallel")
+_RESAMPLE_LIMIT = 20
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Knobs of the task-system generator (defaults match EXP-A)."""
+
+    tasks: int = 10
+    processors: int = 8
+    normalized_utilization: float = 0.5  # U_sum / m
+    dag_kind: str = "erdos_renyi"
+    min_vertices: int = 10
+    max_vertices: int = 30
+    edge_probability: float = 0.2
+    wcet_low: int = 1
+    wcet_high: int = 100
+    deadline_ratio: tuple[float, float] = (0.05, 1.0)
+    nfj_depth: int = 3
+    nfj_max_branches: int = 4
+    layers: int = 5
+    layer_width: int = 6
+    utilization_method: str = "uunifast"  # or "randfixedsum"
+
+    def __post_init__(self) -> None:
+        if self.utilization_method not in ("uunifast", "randfixedsum"):
+            raise GenerationError(
+                "utilization_method must be 'uunifast' or 'randfixedsum', "
+                f"got {self.utilization_method!r}"
+            )
+        if self.tasks < 1:
+            raise GenerationError(f"tasks must be >= 1, got {self.tasks}")
+        if self.processors < 1:
+            raise GenerationError(f"processors must be >= 1, got {self.processors}")
+        if self.normalized_utilization <= 0:
+            raise GenerationError(
+                "normalized_utilization must be positive, got "
+                f"{self.normalized_utilization}"
+            )
+        if self.dag_kind not in _DAG_KINDS:
+            raise GenerationError(
+                f"dag_kind must be one of {_DAG_KINDS}, got {self.dag_kind!r}"
+            )
+        if not 1 <= self.min_vertices <= self.max_vertices:
+            raise GenerationError("need 1 <= min_vertices <= max_vertices")
+
+    def with_utilization(self, normalized: float) -> "SystemConfig":
+        """A copy at a different normalized utilization (sweep helper)."""
+        return replace(self, normalized_utilization=normalized)
+
+
+def generate_dag(config: SystemConfig, rng: np.random.Generator) -> DAG:
+    """One random DAG structure according to *config*."""
+    sampler = uniform_wcet_sampler(config.wcet_low, config.wcet_high)
+    if config.dag_kind == "erdos_renyi":
+        n = int(rng.integers(config.min_vertices, config.max_vertices + 1))
+        return erdos_renyi_dag(n, config.edge_probability, rng, sampler)
+    if config.dag_kind == "layered":
+        return layered_dag(
+            config.layers, config.layer_width, config.edge_probability, rng, sampler
+        )
+    if config.dag_kind == "nested_fork_join":
+        return nested_fork_join(
+            config.nfj_depth, config.nfj_max_branches, rng, sampler
+        )
+    n = int(rng.integers(config.min_vertices, config.max_vertices + 1))
+    return series_parallel(n, rng, sampler)
+
+
+def generate_task(
+    utilization: float,
+    config: SystemConfig,
+    rng: np.random.Generator,
+    name: str = "",
+) -> SporadicDAGTask:
+    """One random task with (approximately) the given *utilization*.
+
+    The utilization is achieved exactly unless it exceeds the parallelism of
+    every resampled DAG (``u > vol / len``), in which case it is clamped to
+    the last DAG's maximum; callers measure achieved utilization from the
+    returned system.
+    """
+    if utilization <= 0:
+        raise GenerationError(f"utilization must be positive, got {utilization}")
+    dag = generate_dag(config, rng)
+    for _ in range(_RESAMPLE_LIMIT):
+        if utilization <= dag.volume / dag.longest_chain_length:
+            break
+        dag = generate_dag(config, rng)
+    achieved = min(utilization, dag.volume / dag.longest_chain_length)
+    # Guard against float round-down when the clamp is active (vol / (vol /
+    # len) can land a hair below len).
+    period = max(dag.volume / achieved, dag.longest_chain_length)
+    deadline = constrained_deadline(
+        dag.longest_chain_length, period, rng, config.deadline_ratio
+    )
+    return SporadicDAGTask(dag=dag, deadline=deadline, period=period, name=name)
+
+
+def generate_system(
+    config: SystemConfig, rng: np.random.Generator | int | None = None
+) -> TaskSystem:
+    """One random constrained-deadline sporadic DAG task system."""
+    if rng is None or isinstance(rng, int):
+        rng = np.random.default_rng(rng)
+    total = config.normalized_utilization * config.processors
+    if config.utilization_method == "randfixedsum":
+        draws = randfixedsum(config.tasks, total, rng)
+    else:
+        draws = uunifast(config.tasks, total, rng)
+    # Guard against floating-point zeros from extreme draws.
+    utilizations = [max(u, 1e-9) for u in draws]
+    tasks = [
+        generate_task(u, config, rng, name=f"task{i}")
+        for i, u in enumerate(utilizations)
+    ]
+    return TaskSystem(tasks)

@@ -1,0 +1,50 @@
+"""Task models: DAGs, sporadic DAG tasks, three-parameter sporadic tasks,
+task systems, and their JSON serialisation."""
+
+from repro.model.dag import DAG, VertexId
+from repro.model.serialization import (
+    dag_from_dict,
+    dag_to_dict,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.model.builders import DagBuilder, pipeline
+from repro.model.io_dot import load_dot, parse_dot
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import DeadlineModel, TaskSystem
+from repro.model.transforms import (
+    coarsen_chains,
+    normalize_source_sink,
+    subdag,
+    transitive_reduction,
+)
+
+__all__ = [
+    "DAG",
+    "VertexId",
+    "SporadicTask",
+    "SporadicDAGTask",
+    "TaskSystem",
+    "DeadlineModel",
+    "dag_to_dict",
+    "dag_from_dict",
+    "task_to_dict",
+    "task_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "save_system",
+    "load_system",
+    "transitive_reduction",
+    "normalize_source_sink",
+    "coarsen_chains",
+    "subdag",
+    "parse_dot",
+    "load_dot",
+    "DagBuilder",
+    "pipeline",
+]

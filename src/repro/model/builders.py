@@ -1,0 +1,122 @@
+"""Fluent construction of task DAGs.
+
+Hand-writing ``(wcets, edges)`` pairs gets error-prone past a handful of
+vertices.  :class:`DagBuilder` assembles a DAG incrementally with named
+stages, and :func:`pipeline` composes common shapes (sequential stages, each
+either one job or a parallel fan-out) in one call::
+
+    dag = (
+        DagBuilder()
+        .job("capture", 2.0)
+        .parallel("tile", [7.0, 7.0, 7.0, 7.0], after="capture")
+        .job("nms", 2.0, after="tile")
+        .job("track", 3.0, after="nms")
+        .build()
+    )
+
+    dag = pipeline([("read", 1.0), ("filter", [2.0, 2.0, 2.0]), ("merge", 1.0)])
+
+Group names (from :meth:`DagBuilder.parallel`) act as aliases for all their
+members when used in ``after=``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ModelError
+from repro.model.dag import DAG, VertexId
+
+__all__ = ["DagBuilder", "pipeline"]
+
+
+class DagBuilder:
+    """Incremental DAG assembly with named vertices and vertex groups."""
+
+    def __init__(self) -> None:
+        self._wcets: dict[VertexId, float] = {}
+        self._edges: list[tuple[VertexId, VertexId]] = []
+        self._groups: dict[str, tuple[VertexId, ...]] = {}
+
+    def _resolve(self, name: str) -> tuple[VertexId, ...]:
+        if name in self._groups:
+            return self._groups[name]
+        if name in self._wcets:
+            return (name,)
+        raise ModelError(f"unknown vertex or group {name!r}")
+
+    def _predecessors(self, after) -> list[VertexId]:
+        if after is None:
+            return []
+        names = [after] if isinstance(after, str) else list(after)
+        out: list[VertexId] = []
+        for name in names:
+            out.extend(self._resolve(name))
+        return out
+
+    def job(self, name: str, wcet: float, after=None) -> "DagBuilder":
+        """Add one sequential job, optionally after vertices/groups *after*.
+
+        *after* is a vertex or group name, or a sequence of them.
+        """
+        if name in self._wcets or name in self._groups:
+            raise ModelError(f"duplicate vertex or group name {name!r}")
+        preds = self._predecessors(after)
+        self._wcets[name] = wcet
+        self._edges.extend((p, name) for p in preds)
+        return self
+
+    def parallel(
+        self, group: str, wcets: Sequence[float], after=None
+    ) -> "DagBuilder":
+        """Add a named group of parallel jobs ``group0 .. groupN-1``.
+
+        Each member depends on every vertex *after* resolves to; the group
+        name becomes an alias for all members in later ``after=`` uses.
+        """
+        if not wcets:
+            raise ModelError(f"group {group!r} needs at least one job")
+        if group in self._wcets or group in self._groups:
+            raise ModelError(f"duplicate vertex or group name {group!r}")
+        preds = self._predecessors(after)
+        members: list[VertexId] = []
+        for i, wcet in enumerate(wcets):
+            name = f"{group}{i}"
+            if name in self._wcets:
+                raise ModelError(f"member name {name!r} collides")
+            self._wcets[name] = wcet
+            self._edges.extend((p, name) for p in preds)
+            members.append(name)
+        self._groups[group] = tuple(members)
+        return self
+
+    def edge(self, source: str, target: str) -> "DagBuilder":
+        """Add an explicit precedence edge between vertices/groups."""
+        for u in self._resolve(source):
+            for v in self._resolve(target):
+                self._edges.append((u, v))
+        return self
+
+    def build(self) -> DAG:
+        """Materialise (and thereby validate) the DAG."""
+        return DAG(self._wcets, self._edges)
+
+
+def pipeline(stages: Sequence[tuple[str, float | Sequence[float]]]) -> DAG:
+    """A linear pipeline of stages, each one job or a parallel fan-out.
+
+    Each stage is ``(name, wcet)`` for a single job or ``(name, [wcets...])``
+    for a parallel group; every stage fully precedes the next (fan-out
+    stages synchronise through the following stage's dependencies).
+    """
+    if not stages:
+        raise ModelError("pipeline needs at least one stage")
+    builder = DagBuilder()
+    previous: str | None = None
+    for name, work in stages:
+        if isinstance(work, (int, float)):
+            builder.job(name, float(work), after=previous)
+        else:
+            builder.parallel(name, [float(w) for w in work], after=previous)
+        previous = name
+    return builder.build()

@@ -1,0 +1,176 @@
+"""The sporadic DAG task model (Section II of the paper).
+
+A :class:`SporadicDAGTask` ``tau_i = (G_i, D_i, T_i)`` releases *dag-jobs*: at
+a release instant ``t`` every vertex of ``G_i`` becomes a job, all of which
+must finish by ``t + D_i`` subject to the precedence edges; successive
+releases are separated by at least ``T_i``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.model.dag import DAG
+from repro.model.sporadic import SporadicTask
+
+__all__ = ["SporadicDAGTask"]
+
+
+@dataclass(frozen=True)
+class SporadicDAGTask:
+    """A sporadic DAG task ``(G, D, T)``.
+
+    Attributes
+    ----------
+    dag:
+        The precedence graph ``G_i`` whose vertices are WCET-weighted jobs.
+    deadline:
+        Relative deadline ``D_i`` (positive).
+    period:
+        Minimum inter-release separation ``T_i`` (positive).
+    name:
+        Optional human-readable identifier (ignored for equality).
+    """
+
+    dag: DAG
+    deadline: float
+    period: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dag, DAG):
+            raise ModelError(f"dag must be a DAG instance, got {type(self.dag).__name__}")
+        for label, value in (("deadline", self.deadline), ("period", self.period)):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ModelError(f"{label} must be a number, got {value!r}")
+            if not math.isfinite(value) or value <= 0:
+                raise ModelError(f"{label} must be positive and finite, got {value!r}")
+
+    # ------------------------------------------------------------------
+    # the paper's derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def volume(self) -> float:
+        """``vol_i``: total WCET of one dag-job."""
+        return self.dag.volume
+
+    @property
+    def span(self) -> float:
+        """``len_i``: the longest chain length (a.k.a. critical path length)."""
+        return self.dag.longest_chain_length
+
+    @property
+    def utilization(self) -> float:
+        """``u_i = vol_i / T_i``."""
+        return self.volume / self.period
+
+    @property
+    def density(self) -> float:
+        """``delta_i = vol_i / min(D_i, T_i)``."""
+        return self.volume / min(self.deadline, self.period)
+
+    @property
+    def is_high_utilization(self) -> bool:
+        """``u_i >= 1`` (terminology of Li et al., ECRTS 2014)."""
+        return self.utilization >= 1.0
+
+    @property
+    def is_high_density(self) -> bool:
+        """``delta_i >= 1`` -- the tasks FEDCONS grants exclusive processors."""
+        return self.density >= 1.0
+
+    @property
+    def is_low_density(self) -> bool:
+        """``delta_i < 1`` -- the tasks FEDCONS partitions."""
+        return not self.is_high_density
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        """``D_i == T_i``."""
+        return self.deadline == self.period
+
+    @property
+    def is_constrained_deadline(self) -> bool:
+        """``D_i <= T_i`` (the model this paper targets)."""
+        return self.deadline <= self.period
+
+    @property
+    def structural_slack(self) -> float:
+        """``D_i - len_i``: head-room between deadline and critical path.
+
+        Negative slack means the task is infeasible on any finite number of
+        unit-speed processors.
+        """
+        return self.deadline - self.span
+
+    def is_feasible_on_unlimited_processors(self) -> bool:
+        """Necessary condition ``len_i <= D_i``."""
+        return self.span <= self.deadline
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_sporadic(self) -> SporadicTask:
+        """Collapse to a three-parameter sporadic task ``(vol_i, D_i, T_i)``.
+
+        This is the sequentialisation applied by the PARTITION phase: a task
+        confined to a single processor cannot exploit internal parallelism,
+        so only its total work, deadline and period matter (Section IV-B).
+        """
+        return SporadicTask(
+            wcet=self.volume,
+            deadline=self.deadline,
+            period=self.period,
+            name=self.name,
+        )
+
+    def scaled(self, speed: float) -> "SporadicDAGTask":
+        """This task as seen by processors of the given *speed* (WCETs / speed)."""
+        return SporadicDAGTask(
+            dag=self.dag.scaled(speed),
+            deadline=self.deadline,
+            period=self.period,
+            name=self.name,
+        )
+
+    def with_deadline(self, deadline: float) -> "SporadicDAGTask":
+        """A copy with a different relative deadline."""
+        return SporadicDAGTask(
+            dag=self.dag, deadline=deadline, period=self.period, name=self.name
+        )
+
+    def minimum_processors_lower_bound(self) -> int:
+        """A lower bound on processors *any* scheduler needs for this task alone.
+
+        On ``m`` processors a dag-job's makespan is at least
+        ``max(len_i, vol_i / m)``, so meeting ``D_i`` requires
+        ``m >= ceil(vol_i / D_i)``.  (The Graham-style quantity
+        ``ceil((vol - len)/(D - len))`` is *sufficient* for List Scheduling
+        but not necessary for an optimal scheduler -- e.g. two independent
+        chains of length ``len`` finish in ``len`` on two processors -- so it
+        is deliberately not part of this bound; see
+        :func:`repro.core.list_scheduling.graham_makespan_bound` for the
+        sufficient side.)
+
+        Raises
+        ------
+        ModelError
+            If ``len_i > D_i`` (no processor count suffices).
+        """
+        if self.span > self.deadline:
+            raise ModelError(
+                f"task {self.name or self!r} has len {self.span:g} > D {self.deadline:g}; "
+                "infeasible on any platform"
+            )
+        work_bound = math.ceil(self.volume / self.deadline - 1e-12)
+        return max(1, work_bound)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"SporadicDAGTask({label} |V|={len(self.dag)}, vol={self.volume:g}, "
+            f"len={self.span:g}, D={self.deadline:g}, T={self.period:g}, "
+            f"delta={self.density:.3f})"
+        )

@@ -1,0 +1,193 @@
+"""Task systems: ordered collections of sporadic DAG tasks.
+
+A :class:`TaskSystem` is the object every analysis and scheduling algorithm in
+this package consumes.  It provides the aggregate quantities of Section II
+(``U_sum``, the high/low-density split) and the deadline-model classification
+(implicit / constrained / arbitrary).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from enum import Enum
+
+from repro.errors import ModelError
+from repro.model.task import SporadicDAGTask
+
+__all__ = ["DeadlineModel", "TaskSystem"]
+
+
+class DeadlineModel(Enum):
+    """The three deadline models of the sporadic (DAG) task literature."""
+
+    IMPLICIT = "implicit"
+    CONSTRAINED = "constrained"
+    ARBITRARY = "arbitrary"
+
+
+class TaskSystem(Sequence[SporadicDAGTask]):
+    """An immutable, ordered system ``tau = {tau_1, ..., tau_n}``.
+
+    Task names, when present, must be unique; unnamed tasks are addressed by
+    index.
+    """
+
+    __slots__ = ("_tasks", "_by_name")
+
+    def __init__(self, tasks: Iterable[SporadicDAGTask]) -> None:
+        self._tasks: tuple[SporadicDAGTask, ...] = tuple(tasks)
+        if not self._tasks:
+            raise ModelError("a task system must contain at least one task")
+        for task in self._tasks:
+            if not isinstance(task, SporadicDAGTask):
+                raise ModelError(
+                    f"task system entries must be SporadicDAGTask, got "
+                    f"{type(task).__name__}"
+                )
+        self._by_name: dict[str, SporadicDAGTask] = {}
+        for task in self._tasks:
+            if task.name:
+                if task.name in self._by_name:
+                    raise ModelError(f"duplicate task name {task.name!r}")
+                self._by_name[task.name] = task
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[SporadicDAGTask]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, str):
+            try:
+                return self._by_name[index]
+            except KeyError:
+                raise ModelError(f"no task named {index!r}") from None
+        result = self._tasks[index]
+        if isinstance(index, slice):
+            return TaskSystem(result)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSystem):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskSystem(n={len(self._tasks)}, U_sum={self.total_utilization:.3f}, "
+            f"model={self.deadline_model.value})"
+        )
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> tuple[SporadicDAGTask, ...]:
+        """The tasks as a tuple, in system order."""
+        return self._tasks
+
+    @property
+    def total_utilization(self) -> float:
+        """``U_sum(tau)``: the sum of all task utilizations."""
+        return sum(t.utilization for t in self._tasks)
+
+    @property
+    def total_density(self) -> float:
+        """The sum of all task densities."""
+        return sum(t.density for t in self._tasks)
+
+    @property
+    def max_density(self) -> float:
+        """The largest single-task density in the system."""
+        return max(t.density for t in self._tasks)
+
+    @property
+    def total_volume(self) -> float:
+        """The summed per-dag-job work of all tasks."""
+        return sum(t.volume for t in self._tasks)
+
+    @property
+    def deadline_model(self) -> DeadlineModel:
+        """Implicit if all ``D == T``, constrained if all ``D <= T``, else arbitrary."""
+        if all(t.is_implicit_deadline for t in self._tasks):
+            return DeadlineModel.IMPLICIT
+        if all(t.is_constrained_deadline for t in self._tasks):
+            return DeadlineModel.CONSTRAINED
+        return DeadlineModel.ARBITRARY
+
+    @property
+    def high_density_tasks(self) -> tuple[SporadicDAGTask, ...]:
+        """``tau_high``: tasks with density >= 1, in system order."""
+        return tuple(t for t in self._tasks if t.is_high_density)
+
+    @property
+    def low_density_tasks(self) -> tuple[SporadicDAGTask, ...]:
+        """``tau_low = tau \\ tau_high``, in system order."""
+        return tuple(t for t in self._tasks if t.is_low_density)
+
+    @property
+    def high_utilization_tasks(self) -> tuple[SporadicDAGTask, ...]:
+        """Tasks with utilization >= 1 (the split used by Li et al. for
+        implicit-deadline federated scheduling)."""
+        return tuple(t for t in self._tasks if t.is_high_utilization)
+
+    @property
+    def low_utilization_tasks(self) -> tuple[SporadicDAGTask, ...]:
+        """Tasks with utilization below one, in system order."""
+        return tuple(t for t in self._tasks if not t.is_high_utilization)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def scaled(self, speed: float) -> "TaskSystem":
+        """The system as seen by speed-*speed* processors."""
+        return TaskSystem(t.scaled(speed) for t in self._tasks)
+
+    def structurally_feasible(self) -> bool:
+        """Necessary condition: every task satisfies ``len_i <= D_i``."""
+        return all(t.span <= t.deadline for t in self._tasks)
+
+    def validate_constrained(self) -> None:
+        """Raise :class:`ModelError` unless every task has ``D_i <= T_i``.
+
+        FEDCONS (and the analyses backing it) are only valid for
+        constrained-deadline systems; this is the guard each entry point uses.
+        """
+        offenders = [
+            t.name or f"#{i}"
+            for i, t in enumerate(self._tasks)
+            if not t.is_constrained_deadline
+        ]
+        if offenders:
+            raise ModelError(
+                "constrained-deadline analysis applied to arbitrary-deadline "
+                f"task(s): {', '.join(offenders)}"
+            )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary table of the system."""
+        lines = [
+            f"{'task':<14}{'|V|':>5}{'vol':>10}{'len':>10}{'D':>10}{'T':>10}"
+            f"{'util':>8}{'dens':>8}  class"
+        ]
+        for i, t in enumerate(self._tasks):
+            label = t.name or f"#{i}"
+            klass = "HIGH" if t.is_high_density else "low"
+            lines.append(
+                f"{label:<14}{len(t.dag):>5}{t.volume:>10.3f}{t.span:>10.3f}"
+                f"{t.deadline:>10.3f}{t.period:>10.3f}{t.utilization:>8.3f}"
+                f"{t.density:>8.3f}  {klass}"
+            )
+        lines.append(
+            f"U_sum={self.total_utilization:.3f}  "
+            f"model={self.deadline_model.value}  "
+            f"high={len(self.high_density_tasks)}/{len(self._tasks)}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Structure-preserving DAG transformations.
+
+Utilities downstream users routinely need when preparing task graphs:
+
+:func:`transitive_reduction`
+    drop every edge implied by a longer path.  Precedence semantics,
+    ``vol``, and ``len`` are all invariant; LS templates can only get
+    better (fewer artificial waits).
+:func:`normalize_source_sink`
+    add virtual entry/exit vertices joining all sources/sinks.  WCETs must
+    be positive in this model, so the virtual vertices carry a configurable
+    epsilon cost (negligible against real work).
+:func:`coarsen_chains`
+    merge maximal single-in/single-out chains into one vertex (sum of
+    WCETs).  Volume and chain structure are preserved; the vertex count --
+    and hence LS/MINPROCS cost -- drops.
+:func:`subdag`
+    the induced sub-DAG on a vertex subset (validated for edge closure
+    under reachability *within the subset*).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ModelError
+from repro.model.dag import DAG, VertexId
+
+__all__ = [
+    "transitive_reduction",
+    "normalize_source_sink",
+    "coarsen_chains",
+    "subdag",
+]
+
+
+def transitive_reduction(dag: DAG) -> DAG:
+    """The unique minimal DAG with the same reachability relation.
+
+    ``len`` and ``vol`` are unchanged; redundant edges (those implied by a
+    longer path) are removed.
+    """
+    keep: list[tuple[VertexId, VertexId]] = []
+    for u in dag.vertices:
+        direct = set(dag.successors(u))
+        # v is redundant if reachable from u through another successor.
+        reachable_via_other: set[VertexId] = set()
+        for w in direct:
+            reachable_via_other |= dag.descendants(w)
+        keep.extend((u, v) for v in direct if v not in reachable_via_other)
+    return DAG(dag.wcets, keep)
+
+
+def normalize_source_sink(
+    dag: DAG,
+    source: VertexId = "__source__",
+    sink: VertexId = "__sink__",
+    epsilon: float = 1e-9,
+) -> DAG:
+    """A DAG with unique entry and exit vertices of negligible cost.
+
+    Raises
+    ------
+    ModelError
+        If *source*/*sink* collide with existing vertices or *epsilon* is
+        not positive.
+    """
+    if epsilon <= 0:
+        raise ModelError(f"epsilon must be positive, got {epsilon}")
+    if source in dag or sink in dag:
+        raise ModelError("source/sink vertex ids already exist in the DAG")
+    wcets = dag.wcets
+    wcets[source] = epsilon
+    wcets[sink] = epsilon
+    edges = list(dag.edges)
+    edges.extend((source, v) for v in dag.sources)
+    edges.extend((v, sink) for v in dag.sinks)
+    return DAG(wcets, edges)
+
+
+def coarsen_chains(dag: DAG) -> tuple[DAG, dict[VertexId, tuple[VertexId, ...]]]:
+    """Merge maximal single-in/single-out chains.
+
+    Returns ``(coarse_dag, mapping)`` where ``mapping`` sends each coarse
+    vertex to the tuple of original vertices it absorbed (in execution
+    order).  ``vol`` and ``len`` are preserved exactly.
+    """
+    # A vertex continues a chain into its unique successor when it has
+    # exactly one successor and that successor has exactly one predecessor.
+    absorbed: set[VertexId] = set()
+    groups: list[list[VertexId]] = []
+    for v in dag.vertices:
+        if v in absorbed:
+            continue
+        chain = [v]
+        cur = v
+        while True:
+            succs = dag.successors(cur)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if len(dag.predecessors(nxt)) != 1:
+                break
+            chain.append(nxt)
+            absorbed.add(nxt)
+            cur = nxt
+        groups.append(chain)
+    representative = {member: group[0] for group in groups for member in group}
+    wcets = {
+        group[0]: sum(dag.wcet(v) for v in group) for group in groups
+    }
+    edges: set[tuple[VertexId, VertexId]] = set()
+    for u, v in dag.edges:
+        ru, rv = representative[u], representative[v]
+        if ru != rv:
+            edges.add((ru, rv))
+    mapping = {group[0]: tuple(group) for group in groups}
+    return DAG(wcets, sorted(edges, key=lambda e: (str(e[0]), str(e[1])))), mapping
+
+
+def subdag(dag: DAG, vertices: Iterable[VertexId]) -> DAG:
+    """The induced sub-DAG on *vertices* (edges with both endpoints kept).
+
+    Raises
+    ------
+    ModelError
+        If the subset is empty or references unknown vertices.
+    """
+    subset = set(vertices)
+    unknown = [v for v in subset if v not in dag]
+    if unknown:
+        raise ModelError(f"unknown vertices: {unknown!r}")
+    if not subset:
+        raise ModelError("vertex subset must be non-empty")
+    wcets = {v: dag.wcet(v) for v in subset}
+    edges = [(u, v) for u, v in dag.edges if u in subset and v in subset]
+    return DAG(wcets, edges)

@@ -1,0 +1,16 @@
+"""Executable artifacts of the paper's worked examples.
+
+Figure 1 / Example 1 (the illustrative task) lives here; Example 2 (the
+capacity-augmentation witness family) lives in :mod:`repro.analysis.speedup`
+because it is part of the speedup analysis proper.
+"""
+
+from repro.analysis.speedup import example2_required_speed, example2_system
+from repro.paper.figure1 import figure1_dag, figure1_task
+
+__all__ = [
+    "figure1_dag",
+    "figure1_task",
+    "example2_system",
+    "example2_required_speed",
+]

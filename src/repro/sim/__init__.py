@@ -1,0 +1,47 @@
+"""Discrete-event run-time simulation: template-replay clusters, per-processor
+preemptive EDF, and a global-EDF simulator for baseline cross-checks."""
+
+from repro.sim.cluster import simulate_cluster
+from repro.sim.executor import simulate_deployment
+from repro.sim.global_edf import simulate_global_edf
+from repro.sim.global_system import simulate_global_system
+from repro.sim.metrics import TraceMetrics, compute_metrics
+from repro.sim.trace import (
+    DeadlineMiss,
+    ExecutionRecord,
+    SimulationReport,
+    TaskStats,
+    Trace,
+)
+from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+from repro.sim.uniprocessor_fp import PrioritizedJob, simulate_uniprocessor_fp
+from repro.sim.workload import (
+    DagJobInstance,
+    ExecutionTimeModel,
+    ReleasePattern,
+    generate_dag_jobs,
+    generate_releases,
+)
+
+__all__ = [
+    "simulate_deployment",
+    "simulate_cluster",
+    "simulate_uniprocessor_edf",
+    "simulate_uniprocessor_fp",
+    "PrioritizedJob",
+    "simulate_global_edf",
+    "simulate_global_system",
+    "SequentialJob",
+    "DagJobInstance",
+    "ReleasePattern",
+    "ExecutionTimeModel",
+    "generate_releases",
+    "generate_dag_jobs",
+    "Trace",
+    "SimulationReport",
+    "TaskStats",
+    "ExecutionRecord",
+    "DeadlineMiss",
+    "TraceMetrics",
+    "compute_metrics",
+]

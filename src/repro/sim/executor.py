@@ -1,0 +1,176 @@
+"""Execute a FEDCONS deployment end-to-end in simulation.
+
+The federated run-time system has no cross-processor interaction between its
+components -- each high-density task owns its cluster outright and each
+shared processor runs an independent uniprocessor EDF -- so a deployment
+simulation is the composition of independent per-cluster template replays
+(:mod:`repro.sim.cluster`) and per-processor EDF runs
+(:mod:`repro.sim.uniprocessor_edf`), all feeding one :class:`~repro.sim.trace.Trace`.
+
+This is the EXP-E oracle: any system FEDCONS *accepts* must produce a
+miss-free simulation for every legal release pattern and any execution times
+up to the WCETs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.core.fedcons import FedConsResult
+from repro.sim.cluster import simulate_cluster
+from repro.sim.trace import SimulationReport, Trace
+from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+from repro.sim.uniprocessor_fp import PrioritizedJob, simulate_uniprocessor_fp
+from repro.sim.workload import (
+    ExecutionTimeModel,
+    ReleasePattern,
+    generate_dag_jobs,
+)
+
+__all__ = ["simulate_deployment"]
+
+
+def simulate_deployment(
+    deployment: FedConsResult,
+    horizon: float,
+    rng: np.random.Generator | int | None = None,
+    pattern: ReleasePattern = ReleasePattern.PERIODIC,
+    jitter: float = 0.2,
+    exec_model: ExecutionTimeModel = ExecutionTimeModel.WCET,
+    fraction_range: tuple[float, float] = (0.5, 1.0),
+    record_trace: bool = False,
+    preemption_overhead: float = 0.0,
+    pool_policy: str = "edf",
+) -> SimulationReport:
+    """Simulate an accepted FEDCONS deployment over ``[0, horizon)``.
+
+    Parameters
+    ----------
+    deployment:
+        A successful :func:`repro.core.fedcons` result.
+    horizon:
+        Simulated duration.  Releases occur in ``[0, horizon)``; jobs
+        released near the end still run to completion so response-time
+        statistics are unbiased.
+    rng:
+        Seed or generator driving sporadic gaps and execution-time draws.
+    pattern / jitter:
+        Dag-job release pattern (see :mod:`repro.sim.workload`).
+    exec_model / fraction_range:
+        Actual-execution-time model; fractions below 1 exercise the
+        anomaly-safe template replay.
+    record_trace:
+        Keep full per-segment execution records (memory-heavy).
+    preemption_overhead:
+        Context-switch cost charged on every genuine preemption in the
+        shared EDF pool (the dedicated clusters replay non-preemptive
+        templates and incur none).  The admission analysis assumes zero;
+        see EXP-K for the measured robustness margin.  Only supported for
+        the EDF pool policy.
+    pool_policy:
+        Run-time policy of the shared processors: ``"edf"`` (the paper) or
+        ``"dm"`` (deadline-monotonic fixed priorities, matching deployments
+        produced by :func:`repro.extensions.fedcons_fp`).
+
+    Raises
+    ------
+    SimulationError
+        If *deployment* is a failure result (there is nothing to execute).
+    """
+    if not deployment.success:
+        raise SimulationError(
+            "cannot simulate a rejected deployment "
+            f"(reason: {deployment.reason.value if deployment.reason else '?'})"
+        )
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+    if pool_policy not in ("edf", "dm"):
+        raise SimulationError(
+            f"pool_policy must be 'edf' or 'dm', got {pool_policy!r}"
+        )
+    if pool_policy == "dm" and preemption_overhead:
+        raise SimulationError(
+            "preemption_overhead is only modelled for the EDF pool"
+        )
+    if rng is None or isinstance(rng, int):
+        rng = np.random.default_rng(rng)
+
+    trace = Trace(record_executions=record_trace)
+
+    # Dedicated clusters: template replay per high-density task.
+    for allocation in deployment.allocations:
+        jobs = list(
+            generate_dag_jobs(
+                allocation.task,
+                horizon,
+                rng,
+                pattern=pattern,
+                jitter=jitter,
+                exec_model=exec_model,
+                fraction_range=fraction_range,
+            )
+        )
+        simulate_cluster(allocation, jobs, trace)
+
+    # Shared pool: preemptive EDF per processor over sequentialised jobs.
+    partition = deployment.partition
+    if partition is not None:
+        for k, bucket in enumerate(partition.assignment):
+            if not bucket:
+                continue
+            physical = deployment.shared_processors[k]
+            # Deadline-monotonic rank for the FP policy (ties by position).
+            dm_rank = {
+                task.name: rank
+                for rank, task in enumerate(
+                    sorted(bucket, key=lambda t: t.deadline)
+                )
+            }
+            jobs_seq: list[SequentialJob] = []
+            jobs_fp: list[PrioritizedJob] = []
+            for sporadic in bucket:
+                dag_task = partition.dag_tasks.get(sporadic.name)
+                if dag_task is None:
+                    raise SimulationError(
+                        f"partition bucket references unknown task {sporadic.name!r}"
+                    )
+                for instance in generate_dag_jobs(
+                    dag_task,
+                    horizon,
+                    rng,
+                    pattern=pattern,
+                    jitter=jitter,
+                    exec_model=exec_model,
+                    fraction_range=fraction_range,
+                ):
+                    if pool_policy == "edf":
+                        jobs_seq.append(
+                            SequentialJob(
+                                task=sporadic.name,
+                                release=instance.release,
+                                absolute_deadline=instance.absolute_deadline,
+                                execution_time=instance.total_execution,
+                            )
+                        )
+                    else:
+                        jobs_fp.append(
+                            PrioritizedJob(
+                                task=sporadic.name,
+                                priority=dm_rank[sporadic.name],
+                                release=instance.release,
+                                absolute_deadline=instance.absolute_deadline,
+                                execution_time=instance.total_execution,
+                            )
+                        )
+            if pool_policy == "edf":
+                simulate_uniprocessor_edf(
+                    jobs_seq,
+                    trace,
+                    processor=physical,
+                    preemption_overhead=preemption_overhead,
+                )
+            else:
+                simulate_uniprocessor_fp(jobs_fp, trace, processor=physical)
+
+    return trace.report(horizon)

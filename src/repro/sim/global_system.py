@@ -1,0 +1,72 @@
+"""Whole-system global-EDF simulation convenience.
+
+Wraps :func:`repro.sim.global_edf.simulate_global_edf` with the workload
+generation of :mod:`repro.sim.workload`, mirroring
+:func:`repro.sim.executor.simulate_deployment`'s interface so the global and
+federated run-time systems can be exercised with one-line calls on identical
+settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.model.taskset import TaskSystem
+from repro.sim.global_edf import simulate_global_edf
+from repro.sim.trace import SimulationReport, Trace
+from repro.sim.workload import (
+    ExecutionTimeModel,
+    ReleasePattern,
+    generate_dag_jobs,
+)
+
+__all__ = ["simulate_global_system"]
+
+
+def simulate_global_system(
+    system: TaskSystem,
+    processors: int,
+    horizon: float,
+    rng: np.random.Generator | int | None = None,
+    pattern: ReleasePattern = ReleasePattern.PERIODIC,
+    jitter: float = 0.2,
+    exec_model: ExecutionTimeModel = ExecutionTimeModel.WCET,
+    fraction_range: tuple[float, float] = (0.5, 1.0),
+    record_trace: bool = False,
+) -> SimulationReport:
+    """Simulate *system* under global EDF on *processors* over ``[0, horizon)``.
+
+    Unlike :func:`~repro.sim.executor.simulate_deployment` this needs no
+    admission decision first -- global EDF just runs, and the report's
+    ``ok`` flag says whether this particular release pattern survived.  A
+    miss here *proves* the system is not global-EDF schedulable (for the
+    simulated pattern); a clean run proves nothing about other patterns --
+    use the analytical tests of :mod:`repro.baselines.global_edf` for
+    guarantees.
+
+    Raises
+    ------
+    SimulationError
+        On a non-positive horizon or processor count.
+    """
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+    if rng is None or isinstance(rng, int):
+        rng = np.random.default_rng(rng)
+    trace = Trace(record_executions=record_trace)
+    jobs = [
+        job
+        for task in system
+        for job in generate_dag_jobs(
+            task,
+            horizon,
+            rng,
+            pattern=pattern,
+            jitter=jitter,
+            exec_model=exec_model,
+            fraction_range=fraction_range,
+        )
+    ]
+    simulate_global_edf(system, processors, jobs, trace)
+    return trace.report(horizon)

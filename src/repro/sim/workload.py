@@ -1,0 +1,144 @@
+"""Run-time workload generation: dag-job release patterns and execution times.
+
+A sporadic task may release dag-jobs in any pattern respecting the minimum
+separation ``T_i``.  The simulator exercises three standard patterns:
+
+``periodic``
+    releases at ``phase, phase + T, phase + 2T, ...`` -- the densest legal
+    pattern, and (with ``phase = 0`` for every task) the synchronous-arrival
+    worst case of uniprocessor EDF analysis;
+``uniform``
+    inter-release gaps drawn uniformly from ``[T, (1 + jitter) * T]``;
+``poisson``
+    gaps ``T + Exponential(jitter * T)`` -- bursty-but-legal sporadic
+    arrivals.
+
+Actual per-vertex execution times are either the full WCET or a uniform
+fraction of it; early completion is what exercises the anomaly-safety of the
+template-replay dispatcher (Graham's anomalies mean *shorter* jobs can hurt a
+naive re-run of list scheduling).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.model.dag import VertexId
+from repro.model.task import SporadicDAGTask
+
+__all__ = [
+    "ReleasePattern",
+    "ExecutionTimeModel",
+    "DagJobInstance",
+    "generate_releases",
+    "generate_dag_jobs",
+]
+
+
+class ReleasePattern(Enum):
+    """Legal sporadic release patterns (see module docstring)."""
+
+    PERIODIC = "periodic"
+    UNIFORM = "uniform"
+    POISSON = "poisson"
+
+
+class ExecutionTimeModel(Enum):
+    """How actual execution times relate to WCETs."""
+
+    WCET = "wcet"  # every job runs for exactly its WCET
+    UNIFORM_FRACTION = "uniform_fraction"  # actual ~ U[lo, hi] * WCET
+
+
+@dataclass(frozen=True)
+class DagJobInstance:
+    """One released dag-job with concrete release time and execution times."""
+
+    task: SporadicDAGTask
+    release: float
+    execution_times: dict[VertexId, float] = field(compare=False)
+
+    @property
+    def absolute_deadline(self) -> float:
+        return self.release + self.task.deadline
+
+    @property
+    def total_execution(self) -> float:
+        return sum(self.execution_times.values())
+
+
+def generate_releases(
+    task: SporadicDAGTask,
+    horizon: float,
+    rng: np.random.Generator,
+    pattern: ReleasePattern = ReleasePattern.PERIODIC,
+    jitter: float = 0.2,
+    phase: float = 0.0,
+) -> list[float]:
+    """Release instants of *task* in ``[phase, horizon)``.
+
+    Raises
+    ------
+    SimulationError
+        On negative *horizon*, *phase* or *jitter*.
+    """
+    if horizon < 0 or phase < 0 or jitter < 0:
+        raise SimulationError("horizon, phase and jitter must be non-negative")
+    releases: list[float] = []
+    t = phase
+    while t < horizon:
+        releases.append(t)
+        if pattern is ReleasePattern.PERIODIC:
+            gap = task.period
+        elif pattern is ReleasePattern.UNIFORM:
+            gap = task.period * (1.0 + float(rng.uniform(0.0, jitter)))
+        elif pattern is ReleasePattern.POISSON:
+            gap = task.period + float(rng.exponential(jitter * task.period))
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown release pattern {pattern!r}")
+        t += gap
+    return releases
+
+
+def _execution_times(
+    task: SporadicDAGTask,
+    rng: np.random.Generator,
+    model: ExecutionTimeModel,
+    fraction_range: tuple[float, float],
+) -> dict[VertexId, float]:
+    if model is ExecutionTimeModel.WCET:
+        return dict(task.dag.wcets)
+    lo, hi = fraction_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise SimulationError(
+            f"fraction range must satisfy 0 < lo <= hi <= 1, got ({lo}, {hi})"
+        )
+    return {
+        v: w * float(rng.uniform(lo, hi)) for v, w in task.dag.wcets.items()
+    }
+
+
+def generate_dag_jobs(
+    task: SporadicDAGTask,
+    horizon: float,
+    rng: np.random.Generator,
+    pattern: ReleasePattern = ReleasePattern.PERIODIC,
+    jitter: float = 0.2,
+    phase: float = 0.0,
+    exec_model: ExecutionTimeModel = ExecutionTimeModel.WCET,
+    fraction_range: tuple[float, float] = (0.5, 1.0),
+) -> Iterator[DagJobInstance]:
+    """Yield the concrete dag-jobs of *task* over ``[0, horizon)``."""
+    for release in generate_releases(
+        task, horizon, rng, pattern=pattern, jitter=jitter, phase=phase
+    ):
+        yield DagJobInstance(
+            task=task,
+            release=release,
+            execution_times=_execution_times(task, rng, exec_model, fraction_range),
+        )

@@ -1,0 +1,14 @@
+"""Presentation helpers: SVG Gantt charts and Graphviz DOT export."""
+
+from repro.viz.dag_svg import dag_to_svg
+from repro.viz.dot import dag_to_dot, task_to_dot
+from repro.viz.svg import schedule_to_svg, trace_to_svg, write_svg
+
+__all__ = [
+    "schedule_to_svg",
+    "trace_to_svg",
+    "write_svg",
+    "dag_to_dot",
+    "dag_to_svg",
+    "task_to_dot",
+]

@@ -1,0 +1,106 @@
+"""Layered node-link SVG rendering of task DAGs.
+
+A dependency-free structural drawing: vertices are placed in columns by
+longest-path depth (so every edge points rightward), rows within a column
+follow the topological order, and the critical path is highlighted.  For
+publication-quality layouts use :mod:`repro.viz.dot` with Graphviz; this
+renderer exists so the library can show a DAG with no external tooling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.model.dag import DAG, VertexId
+
+__all__ = ["dag_to_svg"]
+
+_NODE_R = 16
+_COL_GAP = 110
+_ROW_GAP = 60
+_MARGIN = 40
+
+
+def _depths(dag: DAG) -> dict[VertexId, int]:
+    depth: dict[VertexId, int] = {}
+    for v in dag.vertices:
+        depth[v] = max((depth[p] + 1 for p in dag.predecessors(v)), default=0)
+    return depth
+
+
+def dag_to_svg(
+    dag: DAG, title: str = "", highlight_critical: bool = True
+) -> str:
+    """Render *dag* as a layered SVG node-link diagram.
+
+    Raises
+    ------
+    ReproError
+        Never for valid DAGs; kept for symmetry with the other renderers.
+    """
+    if len(dag) == 0:  # pragma: no cover - DAG guarantees >= 1 vertex
+        raise ReproError("cannot render an empty DAG")
+    depth = _depths(dag)
+    columns: dict[int, list[VertexId]] = {}
+    for v in dag.vertices:  # topological order fixes row order
+        columns.setdefault(depth[v], []).append(v)
+    n_cols = max(columns) + 1
+    n_rows = max(len(col) for col in columns.values())
+    width = 2 * _MARGIN + (n_cols - 1) * _COL_GAP + 2 * _NODE_R
+    height = 2 * _MARGIN + (n_rows - 1) * _ROW_GAP + 2 * _NODE_R + (30 if title else 0)
+
+    position: dict[VertexId, tuple[float, float]] = {}
+    for col_index, members in columns.items():
+        x = _MARGIN + _NODE_R + col_index * _COL_GAP
+        offset = (n_rows - len(members)) * _ROW_GAP / 2.0
+        for row_index, v in enumerate(members):
+            y = _MARGIN + _NODE_R + offset + row_index * _ROW_GAP + (30 if title else 0)
+            position[v] = (x, y)
+
+    critical: set[VertexId] = set()
+    critical_edges: set[tuple[VertexId, VertexId]] = set()
+    if highlight_critical:
+        chain = dag.longest_chain()
+        critical = set(chain)
+        critical_edges = set(zip(chain, chain[1:]))
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">'
+    ]
+    if title:
+        lines.append(f'<text x="{_MARGIN}" y="20" font-size="13">{title}</text>')
+    lines.append(
+        '<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="6" markerHeight="6" orient="auto-start-reverse">'
+        '<path d="M 0 0 L 10 5 L 0 10 z" fill="#666"/></marker></defs>'
+    )
+    for u, v in dag.edges:
+        (x1, y1), (x2, y2) = position[u], position[v]
+        dx, dy = x2 - x1, y2 - y1
+        norm = max((dx * dx + dy * dy) ** 0.5, 1e-9)
+        sx, sy = x1 + dx / norm * _NODE_R, y1 + dy / norm * _NODE_R
+        ex, ey = x2 - dx / norm * (_NODE_R + 4), y2 - dy / norm * (_NODE_R + 4)
+        colour = "#c00000" if (u, v) in critical_edges else "#666"
+        stroke = 2.2 if (u, v) in critical_edges else 1.2
+        lines.append(
+            f'<line x1="{sx:.1f}" y1="{sy:.1f}" x2="{ex:.1f}" y2="{ey:.1f}" '
+            f'stroke="{colour}" stroke-width="{stroke}" '
+            'marker-end="url(#arrow)"/>'
+        )
+    for v in dag.vertices:
+        x, y = position[v]
+        edge_colour = "#c00000" if v in critical else "#333"
+        stroke = 2.5 if v in critical else 1.2
+        lines.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{_NODE_R}" fill="#f4f4f8" '
+            f'stroke="{edge_colour}" stroke-width="{stroke}"/>'
+        )
+        lines.append(
+            f'<text x="{x:.1f}" y="{y + 3:.1f}" text-anchor="middle">{v}</text>'
+        )
+        lines.append(
+            f'<text x="{x:.1f}" y="{y + _NODE_R + 12:.1f}" '
+            f'text-anchor="middle" fill="#555">{dag.wcet(v):g}</text>'
+        )
+    lines.append("</svg>")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""SVG rendering of template schedules and simulation traces.
+
+Dependency-free (plain string assembly) Gantt charts:
+
+* :func:`schedule_to_svg` -- one dag-job's template ``sigma_i`` across its
+  cluster, one lane per processor, slots labelled with vertex ids;
+* :func:`trace_to_svg` -- a simulation window across the whole platform,
+  colour-keyed by task, deadline misses flagged.
+
+These exist so deployments can be inspected visually (the examples and docs
+embed them); they carry no scheduling semantics of their own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.core.schedule import Schedule
+from repro.sim.trace import ExecutionRecord, SimulationReport
+
+__all__ = ["schedule_to_svg", "trace_to_svg", "write_svg"]
+
+# A colour-blind-friendly categorical palette (Okabe-Ito).
+_PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+)
+
+_LANE_HEIGHT = 28
+_LANE_GAP = 6
+_LEFT_MARGIN = 64
+_TOP_MARGIN = 30
+_RIGHT_MARGIN = 20
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _header(width: float, height: float, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" font-family="monospace" font-size="11">',
+        f'<text x="{_LEFT_MARGIN}" y="16" font-size="13">{_escape(title)}</text>',
+    ]
+
+
+def _time_axis(
+    lines: list[str], t_max: float, scale: float, height: float, ticks: int = 8
+) -> None:
+    for k in range(ticks + 1):
+        t = t_max * k / ticks
+        x = _LEFT_MARGIN + t * scale
+        lines.append(
+            f'<line x1="{x:.1f}" y1="{_TOP_MARGIN}" x2="{x:.1f}" '
+            f'y2="{height - 18:.1f}" stroke="#ddd" stroke-width="1"/>'
+        )
+        lines.append(
+            f'<text x="{x:.1f}" y="{height - 4:.1f}" text-anchor="middle" '
+            f'fill="#555">{t:g}</text>'
+        )
+
+
+def _lane_y(index: int) -> float:
+    return _TOP_MARGIN + index * (_LANE_HEIGHT + _LANE_GAP)
+
+
+def schedule_to_svg(
+    schedule: Schedule,
+    title: str = "template schedule",
+    width: float = 720.0,
+    deadline: float | None = None,
+) -> str:
+    """Render a template :class:`~repro.core.schedule.Schedule` as SVG."""
+    if width <= 0:
+        raise ReproError(f"width must be positive, got {width}")
+    t_max = max(schedule.makespan, deadline or 0.0)
+    if t_max <= 0:
+        raise ReproError("cannot render an empty schedule")
+    scale = (width - _LEFT_MARGIN - _RIGHT_MARGIN) / t_max
+    height = _lane_y(schedule.processors) + 24
+    lines = _header(width, height, title)
+    _time_axis(lines, t_max, scale, height)
+    for proc in range(schedule.processors):
+        y = _lane_y(proc)
+        lines.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT / 2 + 4:.1f}" '
+            f'fill="#333">P{proc}</text>'
+        )
+        for i, slot in enumerate(schedule.slots_on(proc)):
+            x = _LEFT_MARGIN + slot.start * scale
+            w = max(slot.length * scale, 1.0)
+            colour = _PALETTE[i % len(_PALETTE)]
+            lines.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{_LANE_HEIGHT}" fill="{colour}" fill-opacity="0.75" '
+                f'stroke="#333" stroke-width="0.5"/>'
+            )
+            lines.append(
+                f'<text x="{x + w / 2:.1f}" y="{y + _LANE_HEIGHT / 2 + 4:.1f}" '
+                f'text-anchor="middle" fill="#000">'
+                f"{_escape(str(slot.vertex))}</text>"
+            )
+    if deadline is not None:
+        x = _LEFT_MARGIN + deadline * scale
+        lines.append(
+            f'<line x1="{x:.1f}" y1="{_TOP_MARGIN - 6}" x2="{x:.1f}" '
+            f'y2="{height - 18:.1f}" stroke="#c00" stroke-width="1.5" '
+            f'stroke-dasharray="5,3"/>'
+        )
+        lines.append(
+            f'<text x="{x:.1f}" y="{_TOP_MARGIN - 10}" fill="#c00" '
+            f'text-anchor="middle">D={deadline:g}</text>'
+        )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def trace_to_svg(
+    report: SimulationReport,
+    processors: int,
+    title: str = "execution trace",
+    width: float = 960.0,
+    window: tuple[float, float] | None = None,
+) -> str:
+    """Render a simulation window as a platform-wide Gantt chart.
+
+    Parameters
+    ----------
+    report:
+        A report produced with ``record_trace=True`` (it must contain
+        execution records).
+    processors:
+        Platform size (number of lanes).
+    window:
+        Optional ``(start, end)`` clip; defaults to ``[0, horizon]``.
+    """
+    if not report.executions:
+        raise ReproError(
+            "report has no execution records; simulate with record_trace=True"
+        )
+    lo, hi = window if window is not None else (0.0, report.horizon)
+    if hi <= lo:
+        raise ReproError(f"empty window ({lo}, {hi})")
+    records = [r for r in report.executions if r.end > lo and r.start < hi]
+    tasks = sorted({r.task for r in report.executions})
+    colour = {t: _PALETTE[i % len(_PALETTE)] for i, t in enumerate(tasks)}
+    scale = (width - _LEFT_MARGIN - _RIGHT_MARGIN) / (hi - lo)
+    legend_height = 18 * ((len(tasks) + 3) // 4) + 8
+    height = _lane_y(processors) + 24 + legend_height
+    lines = _header(width, height, title)
+    _time_axis(lines, hi - lo, scale, height - legend_height)
+    for proc in range(processors):
+        y = _lane_y(proc)
+        lines.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT / 2 + 4:.1f}" '
+            f'fill="#333">P{proc}</text>'
+        )
+    for record in records:
+        y = _lane_y(record.processor)
+        x = _LEFT_MARGIN + (max(record.start, lo) - lo) * scale
+        w = max((min(record.end, hi) - max(record.start, lo)) * scale, 0.5)
+        lines.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+            f'height="{_LANE_HEIGHT}" fill="{colour[record.task]}" '
+            f'fill-opacity="0.8"><title>{_escape(record.task)} '
+            f"{_escape(str(record.vertex))} "
+            f"[{record.start:g}, {record.end:g})</title></rect>"
+        )
+    for miss in report.deadline_misses:
+        if lo <= miss.absolute_deadline <= hi:
+            x = _LEFT_MARGIN + (miss.absolute_deadline - lo) * scale
+            lines.append(
+                f'<line x1="{x:.1f}" y1="{_TOP_MARGIN}" x2="{x:.1f}" '
+                f'y2="{_lane_y(processors):.1f}" stroke="#c00" '
+                f'stroke-width="2"/>'
+            )
+    # Legend.
+    base = _lane_y(processors) + 20
+    for i, task in enumerate(tasks):
+        x = _LEFT_MARGIN + (i % 4) * 180
+        y = base + (i // 4) * 18
+        lines.append(
+            f'<rect x="{x}" y="{y - 10}" width="12" height="12" '
+            f'fill="{colour[task]}"/>'
+        )
+        lines.append(f'<text x="{x + 16}" y="{y}">{_escape(task)}</text>')
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def write_svg(svg: str, path: str | Path) -> None:
+    """Write an SVG string to *path*."""
+    Path(path).write_text(svg)

@@ -1,0 +1,71 @@
+"""Shared fixtures: canonical DAGs, tasks, and systems used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DAG, SporadicDAGTask, SporadicTask, TaskSystem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def diamond_dag() -> DAG:
+    """A 4-vertex diamond: 0 -> {1, 2} -> 3 with WCETs 1, 2, 3, 1."""
+    return DAG({0: 1, 1: 2, 2: 3, 3: 1}, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def chain_dag() -> DAG:
+    return DAG.chain([2, 3, 1])
+
+
+@pytest.fixture
+def wide_dag() -> DAG:
+    """Six independent unit jobs."""
+    return DAG.independent([1] * 6)
+
+
+@pytest.fixture
+def fig1_dag() -> DAG:
+    from repro.paper import figure1_dag
+
+    return figure1_dag()
+
+
+@pytest.fixture
+def fig1_task() -> SporadicDAGTask:
+    from repro.paper import figure1_task
+
+    return figure1_task()
+
+
+@pytest.fixture
+def high_density_task() -> SporadicDAGTask:
+    """Four parallel 4-unit jobs, D=8 < vol=16: density 2."""
+    return SporadicDAGTask(
+        DAG.independent([4, 4, 4, 4]), deadline=8, period=10, name="high"
+    )
+
+
+@pytest.fixture
+def low_density_task() -> SporadicDAGTask:
+    return SporadicDAGTask(DAG.chain([1, 1]), deadline=6, period=12, name="low")
+
+
+@pytest.fixture
+def mixed_system(high_density_task, low_density_task) -> TaskSystem:
+    other = SporadicDAGTask(DAG.single_vertex(2), deadline=5, period=8, name="seq")
+    return TaskSystem([high_density_task, low_density_task, other])
+
+
+@pytest.fixture
+def sporadic_pair() -> list[SporadicTask]:
+    return [
+        SporadicTask(wcet=2, deadline=6, period=10, name="a"),
+        SporadicTask(wcet=3, deadline=8, period=12, name="b"),
+    ]

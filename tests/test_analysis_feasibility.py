@@ -1,0 +1,122 @@
+"""Unit tests for repro.analysis.feasibility."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.feasibility import (
+    necessary_conditions,
+    necessary_speed_bound,
+    system_load,
+)
+from repro.core.fedcons import fedcons
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+def _sys(*tasks):
+    return TaskSystem(tasks)
+
+
+def _t(w, d, t, name=""):
+    return SporadicDAGTask(DAG.single_vertex(w), d, t, name=name)
+
+
+class TestSystemLoad:
+    def test_load_at_least_utilization(self, mixed_system):
+        assert system_load(mixed_system) >= mixed_system.total_utilization - 1e-9
+
+    def test_example2_load_is_n(self):
+        from repro.analysis.speedup import example2_system
+
+        for n in (2, 5, 10):
+            # n unit jobs all due within one time unit: load n at t=1.
+            assert system_load(example2_system(n)) == pytest.approx(n)
+
+    def test_implicit_task_load_equals_utilization(self):
+        system = _sys(_t(5, 10, 10))
+        assert system_load(system) == pytest.approx(0.5)
+
+    def test_constrained_deadline_raises_load(self):
+        loose = system_load(_sys(_t(5, 10, 10)))
+        tight = system_load(_sys(_t(5, 5, 10)))
+        assert tight > loose
+
+
+class TestNecessaryConditions:
+    def test_feasible_system_passes(self, mixed_system):
+        check = necessary_conditions(mixed_system, 4)
+        assert check.feasible_maybe
+        assert bool(check)
+
+    def test_structural_violation(self):
+        system = _sys(
+            SporadicDAGTask(DAG.chain([5, 5]), deadline=8, period=20)
+        )
+        check = necessary_conditions(system, 8)
+        assert not check.structural_ok
+        assert not check.feasible_maybe
+
+    def test_utilization_violation(self):
+        system = _sys(_t(10, 10, 10), _t(10, 10, 10), _t(10, 10, 10))
+        check = necessary_conditions(system, 2)
+        assert not check.utilization_ok
+
+    def test_load_violation(self):
+        from repro.analysis.speedup import example2_system
+
+        check = necessary_conditions(example2_system(4), 2)
+        assert not check.load_ok
+        assert check.utilization_ok  # U_sum = 1 <= 2
+
+    def test_per_task_violation(self):
+        # One task needs 3 processors alone (vol 12, D 4).
+        system = _sys(
+            SporadicDAGTask(DAG.independent([4, 4, 4]), deadline=4, period=10)
+        )
+        check = necessary_conditions(system, 2)
+        assert not check.per_task_ok
+
+    def test_invalid_processors(self, mixed_system):
+        with pytest.raises(AnalysisError):
+            necessary_conditions(mixed_system, 0)
+
+    def test_fedcons_acceptance_implies_necessary(self, rng):
+        # Soundness cross-check: anything FEDCONS accepts passes every
+        # necessary condition (otherwise one of the two is wrong).
+        cfg = SystemConfig(tasks=6, processors=6, normalized_utilization=0.5)
+        checked = 0
+        while checked < 15:
+            system = generate_system(cfg, rng)
+            if fedcons(system, 6).success:
+                checked += 1
+                assert necessary_conditions(system, 6).feasible_maybe
+
+
+class TestNecessarySpeedBound:
+    def test_example2(self):
+        from repro.analysis.speedup import example2_system
+
+        assert necessary_speed_bound(example2_system(8), 1) == pytest.approx(8.0)
+        assert necessary_speed_bound(example2_system(8), 4) == pytest.approx(2.0)
+
+    def test_at_speed_bound_conditions_hold(self, rng):
+        cfg = SystemConfig(tasks=5, processors=4, normalized_utilization=0.7)
+        for _ in range(10):
+            system = generate_system(cfg, rng)
+            bound = necessary_speed_bound(system, 4)
+            scaled = system.scaled(bound * 1.001)
+            assert necessary_conditions(scaled, 4).feasible_maybe
+
+    def test_below_bound_conditions_fail(self, rng):
+        cfg = SystemConfig(tasks=5, processors=4, normalized_utilization=0.7)
+        for _ in range(10):
+            system = generate_system(cfg, rng)
+            bound = necessary_speed_bound(system, 4)
+            scaled = system.scaled(bound * 0.98)
+            assert not necessary_conditions(scaled, 4).feasible_maybe
+
+    def test_invalid_processors(self, mixed_system):
+        with pytest.raises(AnalysisError):
+            necessary_speed_bound(mixed_system, 0)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.makespan."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.makespan import (
+    ls_speedup_witness_ratio,
+    optimal_makespan,
+    processors_lower_bound,
+)
+from repro.core.list_scheduling import list_schedule, makespan_lower_bound
+from repro.generation.dag_generators import erdos_renyi_dag
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+
+
+class TestOptimalMakespan:
+    def test_chain(self, chain_dag):
+        assert optimal_makespan(chain_dag, 3) == chain_dag.volume
+
+    def test_independent_perfect_split(self):
+        assert optimal_makespan(DAG.independent([2, 2, 2]), 2) == 4
+
+    def test_bin_packing_instance(self):
+        # LS with a bad order gives 4; optimal is 3.
+        assert optimal_makespan(DAG.independent([3, 1, 1, 1]), 2) == 3
+
+    def test_fork_join(self):
+        dag = DAG.fork_join([2, 2, 2], 1, 1)
+        assert optimal_makespan(dag, 2) == 6  # 1 + 4 + 1
+
+    def test_single_processor_is_volume(self, diamond_dag):
+        assert optimal_makespan(diamond_dag, 1) == diamond_dag.volume
+
+    def test_never_below_lower_bound(self, rng):
+        for _ in range(15):
+            dag = erdos_renyi_dag(8, 0.3, rng, lambda r: float(r.integers(1, 6)))
+            for m in (1, 2, 3):
+                opt = optimal_makespan(dag, m)
+                assert opt >= makespan_lower_bound(dag, m) - 1e-9
+
+    def test_never_above_ls(self, rng):
+        for _ in range(15):
+            dag = erdos_renyi_dag(8, 0.3, rng, lambda r: float(r.integers(1, 6)))
+            for m in (1, 2, 3):
+                assert optimal_makespan(dag, m) <= list_schedule(dag, m).makespan + 1e-9
+
+    def test_monotone_in_processors(self, rng):
+        for _ in range(10):
+            dag = erdos_renyi_dag(7, 0.3, rng, lambda r: float(r.integers(1, 5)))
+            opts = [optimal_makespan(dag, m) for m in (1, 2, 3, 4)]
+            assert opts == sorted(opts, reverse=True)
+
+    def test_size_limit(self):
+        dag = DAG.independent([1] * 13)
+        with pytest.raises(AnalysisError, match="exponential"):
+            optimal_makespan(dag, 2)
+
+    def test_invalid_processors(self, diamond_dag):
+        with pytest.raises(AnalysisError):
+            optimal_makespan(diamond_dag, 0)
+
+    def test_deliberate_idling_found(self):
+        # Classic case where non-delay (work-conserving) schedules lose:
+        # m=2, a long job L=4 and two unit jobs that gate a 4-chain.
+        # LS may start wrong; B&B must find the true optimum regardless.
+        dag = DAG(
+            {"L": 4, "a": 1, "b": 4},
+            [("a", "b")],
+        )
+        # Optimal on 2 procs: L on P0 (0-4), a then b on P1 (0-5) -> 5.
+        assert optimal_makespan(dag, 2) == 5
+
+
+class TestLsRatio:
+    def test_ratio_at_least_one(self, rng):
+        for _ in range(10):
+            dag = erdos_renyi_dag(10, 0.3, rng)
+            assert ls_speedup_witness_ratio(dag, 3) >= 1.0 - 1e-9
+
+    def test_ratio_bounded_by_lemma1(self, rng):
+        for _ in range(30):
+            dag = erdos_renyi_dag(10, 0.2, rng)
+            for m in (2, 3, 4):
+                assert ls_speedup_witness_ratio(dag, m) <= 2 - 1 / m + 1e-9
+
+
+class TestProcessorsLowerBound:
+    def test_delegates(self):
+        task = SporadicDAGTask(DAG.independent([4] * 4), 8, 10)
+        assert processors_lower_bound(task) == 2
+
+    def test_optimal_respects_lower_bound(self, rng):
+        # The exhaustive optimum can never beat ceil(vol/D) processors.
+        for _ in range(10):
+            dag = erdos_renyi_dag(7, 0.2, rng, lambda r: float(r.integers(1, 5)))
+            deadline = dag.longest_chain_length * 1.2
+            task = SporadicDAGTask(dag, deadline, deadline)
+            lb = processors_lower_bound(task)
+            if lb > 1:
+                assert optimal_makespan(dag, lb - 1) > deadline - 1e-9

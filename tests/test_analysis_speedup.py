@@ -1,0 +1,130 @@
+"""Unit tests for repro.analysis.speedup (Example 2 / Theorem 1 machinery)."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.speedup import (
+    empirical_speedup_factor,
+    example2_required_speed,
+    example2_system,
+    minimum_fedcons_speed,
+    theorem1_bound,
+)
+from repro.core.fedcons import fedcons
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+class TestTheorem1Bound:
+    def test_values(self):
+        assert theorem1_bound(1) == 2.0
+        assert theorem1_bound(2) == 2.5
+        assert theorem1_bound(4) == 2.75
+
+    def test_approaches_three(self):
+        assert theorem1_bound(10**6) == pytest.approx(3.0, abs=1e-5)
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            theorem1_bound(0)
+
+
+class TestExample2:
+    def test_structure(self):
+        system = example2_system(5)
+        assert len(system) == 5
+        assert system.total_utilization == pytest.approx(1.0)
+        for task in system:
+            assert task.span == 1 and task.deadline == 1 and task.period == 5
+
+    def test_invalid_n(self):
+        with pytest.raises(AnalysisError):
+            example2_system(0)
+
+    def test_required_speed_single_processor(self):
+        assert example2_required_speed(10, 1) == 10
+
+    def test_required_speed_multiprocessor(self):
+        assert example2_required_speed(10, 5) == 2
+
+    def test_required_speed_floor_one(self):
+        assert example2_required_speed(2, 8) == 1.0
+
+    def test_capacity_augmentation_unbounded(self):
+        # For any fixed bound b, some n defeats it: required speed n > b
+        # while the Definition-2 premises hold at every n.
+        for b in (2, 5, 10):
+            n = b * 2
+            system = example2_system(n)
+            assert system.total_utilization <= 1 + 1e-9
+            assert all(t.span <= t.deadline for t in system)
+            assert example2_required_speed(n, 1) > b
+
+
+class TestMinimumFedconsSpeed:
+    def test_exactly_one_for_saturating_system(self):
+        # One task, one processor, needs the full processor.
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(10), 10, 10, name="x")]
+        )
+        speed = minimum_fedcons_speed(system, 1, tolerance=1e-4)
+        assert speed == pytest.approx(1.0, abs=1e-3)
+
+    def test_below_one_for_light_system(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(1), 10, 10, name="x")]
+        )
+        speed = minimum_fedcons_speed(system, 1, tolerance=1e-4)
+        assert speed == pytest.approx(0.1, abs=1e-2)
+
+    def test_example2_matches_analytic(self):
+        for n in (2, 4, 8):
+            system = example2_system(n)
+            assert minimum_fedcons_speed(system, 1, tolerance=1e-4) == pytest.approx(
+                n, rel=1e-3
+            )
+
+    def test_acceptance_at_returned_speed(self, rng):
+        cfg = SystemConfig(tasks=5, processors=4, normalized_utilization=0.6)
+        for _ in range(5):
+            system = generate_system(cfg, rng)
+            speed = minimum_fedcons_speed(system, 4, tolerance=1e-3)
+            if math.isfinite(speed):
+                assert fedcons(system.scaled(speed * 1.01), 4).success
+
+    def test_out_of_reach_returns_inf(self):
+        # len 10 > D 8 needs speed >= 1.25; with max_speed below that the
+        # search reports infinity.
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")]
+        )
+        assert minimum_fedcons_speed(system, 4, max_speed=1.2) == math.inf
+
+    def test_structural_fix_by_speed(self):
+        # The same system becomes schedulable once speed clears len/D.
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")]
+        )
+        speed = minimum_fedcons_speed(system, 4, tolerance=1e-4)
+        assert speed == pytest.approx(1.25, rel=1e-3)
+
+
+class TestEmpiricalFactor:
+    def test_example2_factor_is_one(self):
+        assert empirical_speedup_factor(example2_system(6), 1) == pytest.approx(
+            1.0, rel=1e-2
+        )
+
+    def test_random_systems_within_reason(self, rng):
+        cfg = SystemConfig(tasks=4, processors=4, normalized_utilization=0.4)
+        for _ in range(5):
+            system = generate_system(cfg, rng)
+            factor = empirical_speedup_factor(system, 4, tolerance=1e-2)
+            assert factor >= 1.0 - 1e-2
+            # Far looser than Theorem 1 to keep the test robust; the bench
+            # tracks the actual distribution.
+            assert factor <= 2 * theorem1_bound(4)

@@ -1,0 +1,217 @@
+"""Unit tests for repro.baselines (Li et al., global EDF, fully partitioned)."""
+
+import pytest
+
+from repro.errors import AnalysisError, ModelError
+from repro.baselines.federated_implicit import (
+    capacity_augmentation_test,
+    federated_implicit,
+    li_processor_count,
+)
+from repro.baselines.global_edf import (
+    gedf_any_test,
+    gedf_density_test,
+    gedf_load_test,
+    gedf_response_time_test,
+)
+from repro.baselines.partitioned_sequential import partitioned_sequential
+from repro.core.fedcons import fedcons
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+def _implicit(dag, period, name=""):
+    return SporadicDAGTask(dag, period, period, name=name)
+
+
+class TestLiProcessorCount:
+    def test_formula(self):
+        # vol 18, len 6, T 8 -> ceil(12 / 2) = 6.
+        task = _implicit(DAG.fork_join([4, 4, 4, 4], 1, 1), 8)
+        assert li_processor_count(task) == 6
+
+    def test_pure_chain_needs_one(self):
+        task = _implicit(DAG.chain([2, 2]), 5)
+        assert li_processor_count(task) == 1
+
+    def test_len_exceeding_period_rejected(self):
+        task = _implicit(DAG.chain([3, 3]), 5)
+        with pytest.raises(AnalysisError, match="infeasible"):
+            li_processor_count(task)
+
+    def test_len_equals_period_with_parallel_work_rejected(self):
+        task = _implicit(DAG({0: 5, 1: 1}, [(0, 1)][:0]), 5)
+        # len = 5 == T, vol = 6 > len.
+        with pytest.raises(AnalysisError, match="no finite cluster"):
+            li_processor_count(task)
+
+    def test_count_suffices_by_graham(self):
+        # Graham bound with the returned count meets the period.
+        task = _implicit(DAG.fork_join([4, 4, 4, 4], 1, 1), 8)
+        m_i = li_processor_count(task)
+        bound = task.span + (task.volume - task.span) / m_i
+        assert bound <= task.period + 1e-9
+
+
+class TestFederatedImplicit:
+    def test_rejects_constrained_deadline_input(self):
+        task = SporadicDAGTask(DAG.single_vertex(1), 4, 5, name="x")
+        with pytest.raises(ModelError, match="implicit"):
+            federated_implicit(TaskSystem([task]), 4)
+
+    def test_simple_system(self):
+        heavy = _implicit(DAG.independent([4, 4, 4, 4]), 8, name="heavy")
+        light = _implicit(DAG.single_vertex(1), 10, name="light")
+        result = federated_implicit(TaskSystem([heavy, light]), 4)
+        assert result.success
+        assert result.dedicated_processor_count >= 1
+
+    def test_out_of_processors(self):
+        heavy = _implicit(DAG.fork_join([4, 4, 4, 4], 1, 1), 8, name="h")
+        result = federated_implicit(TaskSystem([heavy]), 3)
+        assert not result.success
+        assert result.failed_task.name == "h"
+
+    def test_low_tasks_bin_packed(self):
+        lows = [
+            _implicit(DAG.single_vertex(w), 10, name=f"l{i}")
+            for i, w in enumerate([6, 3, 3])
+        ]
+        result = federated_implicit(TaskSystem(lows), 2)
+        assert result.success
+        for bucket in result.shared_assignment:
+            assert sum(t.utilization for t in bucket) <= 1.0 + 1e-9
+
+    def test_partition_failure_reported(self):
+        lows = [
+            _implicit(DAG.single_vertex(6), 10, name=f"l{i}") for i in range(3)
+        ]
+        result = federated_implicit(TaskSystem(lows), 1)
+        assert not result.success
+
+    def test_invalid_processors(self):
+        with pytest.raises(AnalysisError):
+            federated_implicit(
+                TaskSystem([_implicit(DAG.single_vertex(1), 5)]), 0
+            )
+
+    def test_capacity_bound_premise_implies_acceptance(self, rng):
+        # Li et al.'s theorem: U_sum <= m/2 and len <= T/2 imply success.
+        cfg = SystemConfig(
+            tasks=6,
+            processors=8,
+            normalized_utilization=0.4,
+            deadline_ratio=(1.0, 1.0),
+        )
+        checked = 0
+        while checked < 15:
+            system = generate_system(cfg, rng)
+            if not capacity_augmentation_test(system, 8, bound=2.0):
+                continue
+            checked += 1
+            assert federated_implicit(system, 8).success
+
+
+class TestCapacityAugmentationTest:
+    def test_premises(self):
+        heavy = _implicit(DAG.independent([2, 2]), 8, name="h")
+        assert capacity_augmentation_test(TaskSystem([heavy]), 2, bound=2.0)
+
+    def test_utilization_premise_fails(self):
+        task = _implicit(DAG.single_vertex(9), 10)
+        assert not capacity_augmentation_test(TaskSystem([task]), 1, bound=2.0)
+
+    def test_span_premise_fails(self):
+        task = _implicit(DAG.chain([3, 3]), 10)
+        assert not capacity_augmentation_test(TaskSystem([task]), 8, bound=2.0)
+
+    def test_invalid_arguments(self):
+        task = _implicit(DAG.single_vertex(1), 10)
+        with pytest.raises(AnalysisError):
+            capacity_augmentation_test(TaskSystem([task]), 0)
+
+
+class TestGlobalEdf:
+    def test_density_accepts_light(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(1), 10, 10, name=f"t{i}")
+            for i in range(4)
+        ]
+        assert gedf_density_test(TaskSystem(tasks), 4)
+
+    def test_density_rejects_high_density(self, high_density_task):
+        assert not gedf_density_test(TaskSystem([high_density_task]), 16)
+
+    def test_load_test_light(self):
+        tasks = [
+            SporadicDAGTask(DAG.chain([1, 1]), 8, 10, name=f"t{i}")
+            for i in range(4)
+        ]
+        assert gedf_load_test(TaskSystem(tasks), 4)
+
+    def test_load_test_rejects_span_over_deadline(self):
+        task = SporadicDAGTask(DAG.chain([5, 5]), 9, 20, name="x")
+        assert not gedf_load_test(TaskSystem([task]), 8)
+
+    def test_rta_single_parallel_task(self):
+        # One task alone: R = len + (vol - len)/m.
+        task = SporadicDAGTask(DAG.independent([4] * 4), 10, 12, name="x")
+        assert gedf_response_time_test(TaskSystem([task]), 2)  # 4 + 6 = 10
+
+    def test_rta_rejects_when_too_tight(self):
+        task = SporadicDAGTask(DAG.independent([4] * 4), 9.9, 12, name="x")
+        assert not gedf_response_time_test(TaskSystem([task]), 2)
+
+    def test_any_is_union(self, rng):
+        cfg = SystemConfig(tasks=6, processors=4, normalized_utilization=0.4)
+        for _ in range(10):
+            system = generate_system(cfg, rng)
+            union = gedf_any_test(system, 4)
+            parts = (
+                gedf_density_test(system, 4)
+                or gedf_load_test(system, 4)
+                or gedf_response_time_test(system, 4)
+            )
+            assert union == parts
+
+    def test_invalid_processors(self, mixed_system):
+        with pytest.raises(AnalysisError):
+            gedf_density_test(mixed_system, 0)
+
+
+class TestPartitionedSequential:
+    def test_high_density_rejected_outright(self, mixed_system):
+        result = partitioned_sequential(mixed_system, 8)
+        assert not result.success
+        assert result.failed_task.name == "high"
+
+    def test_low_density_system_accepted(self):
+        tasks = [
+            SporadicDAGTask(DAG.chain([1, 1]), 8, 10, name=f"t{i}")
+            for i in range(4)
+        ]
+        assert partitioned_sequential(TaskSystem(tasks), 4).success
+
+    def test_dominated_by_fedcons(self, rng):
+        # FEDCONS accepts everything fully-partitioned accepts: PARTITIONED
+        # is FEDCONS's phase 2 applied to a superset of tasks... not exactly
+        # (high-density split differs), so check empirically on low-density
+        # systems where the algorithms coincide.
+        cfg = SystemConfig(
+            tasks=8,
+            processors=4,
+            normalized_utilization=0.5,
+            deadline_ratio=(0.7, 1.0),
+        )
+        for _ in range(15):
+            system = generate_system(cfg, rng)
+            if system.high_density_tasks:
+                continue
+            if partitioned_sequential(system, 4).success:
+                assert fedcons(system, 4).success
+
+    def test_invalid_processors(self, mixed_system):
+        with pytest.raises(AnalysisError):
+            partitioned_sequential(mixed_system, 0)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.model.builders and the global-system sim wrapper."""
+
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.model.builders import DagBuilder, pipeline
+from repro.model.dag import DAG
+
+
+class TestDagBuilder:
+    def test_sequential_jobs(self):
+        dag = DagBuilder().job("a", 1).job("b", 2, after="a").build()
+        assert dag.longest_chain_length == 3
+        assert dag.edges == (("a", "b"),)
+
+    def test_parallel_group(self):
+        dag = (
+            DagBuilder()
+            .job("fork", 1)
+            .parallel("work", [2, 2, 2], after="fork")
+            .job("join", 1, after="work")
+            .build()
+        )
+        assert dag.volume == 8
+        assert dag.longest_chain_length == 4
+        assert set(dag.successors("fork")) == {"work0", "work1", "work2"}
+        assert set(dag.predecessors("join")) == {"work0", "work1", "work2"}
+
+    def test_after_multiple(self):
+        dag = (
+            DagBuilder()
+            .job("a", 1)
+            .job("b", 1)
+            .job("c", 1, after=["a", "b"])
+            .build()
+        )
+        assert set(dag.predecessors("c")) == {"a", "b"}
+
+    def test_explicit_edge(self):
+        dag = DagBuilder().job("a", 1).job("b", 1).edge("a", "b").build()
+        assert dag.edges == (("a", "b"),)
+
+    def test_group_to_group_edge(self):
+        dag = (
+            DagBuilder()
+            .parallel("x", [1, 1])
+            .parallel("y", [1, 1])
+            .edge("x", "y")
+            .build()
+        )
+        assert len(dag.edges) == 4
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            DagBuilder().job("a", 1).job("a", 2)
+
+    def test_unknown_after_rejected(self):
+        with pytest.raises(ModelError, match="unknown"):
+            DagBuilder().job("a", 1, after="ghost")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            DagBuilder().parallel("g", [])
+
+    def test_builder_matches_fork_join_factory(self):
+        built = (
+            DagBuilder()
+            .job("src", 1)
+            .parallel("br", [2, 2], after="src")
+            .job("sink", 1, after="br")
+            .build()
+        )
+        factory = DAG.fork_join([2, 2], 1, 1)
+        assert built.volume == factory.volume
+        assert built.longest_chain_length == factory.longest_chain_length
+
+
+class TestPipeline:
+    def test_mixed_stages(self):
+        dag = pipeline([("read", 1.0), ("filter", [2.0, 2.0]), ("merge", 1.0)])
+        assert dag.volume == 6
+        assert dag.longest_chain_length == 4
+
+    def test_single_stage(self):
+        assert len(pipeline([("only", 3.0)])) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            pipeline([])
+
+    def test_fanout_to_fanout_synchronises(self):
+        dag = pipeline([("a", [1.0, 1.0]), ("b", [1.0, 1.0])])
+        # All-to-all between consecutive fan-outs.
+        assert len(dag.edges) == 4
+
+
+class TestGlobalSystemSim:
+    def test_clean_light_system(self, mixed_system):
+        from repro.sim import simulate_global_system
+
+        # Plenty of processors: even the high-density task fits globally.
+        report = simulate_global_system(mixed_system, 8, horizon=200, rng=0)
+        assert report.ok
+        assert set(report.stats) == {t.name for t in mixed_system}
+
+    def test_miss_proves_unschedulability(self):
+        from repro.model.task import SporadicDAGTask
+        from repro.model.taskset import TaskSystem
+        from repro.sim import simulate_global_system
+
+        overload = TaskSystem(
+            [
+                SporadicDAGTask(DAG.single_vertex(2), 2, 10, name=f"t{i}")
+                for i in range(3)
+            ]
+        )
+        report = simulate_global_system(overload, 2, horizon=50, rng=0)
+        assert not report.ok
+
+    def test_invalid_horizon(self, mixed_system):
+        from repro.sim import simulate_global_system
+
+        with pytest.raises(SimulationError):
+            simulate_global_system(mixed_system, 4, horizon=0)
+
+    def test_reproducible(self, mixed_system):
+        from repro.sim import simulate_global_system
+        from repro.sim.workload import ReleasePattern
+
+        a = simulate_global_system(
+            mixed_system, 4, 150, rng=9, pattern=ReleasePattern.UNIFORM
+        )
+        b = simulate_global_system(
+            mixed_system, 4, 150, rng=9, pattern=ReleasePattern.UNIFORM
+        )
+        assert a.total_released == b.total_released

@@ -1,0 +1,168 @@
+"""Tests for the fedcons-analyze / fedcons-simulate CLI tools."""
+
+import pytest
+
+from repro.cli import analyze_main, simulate_main
+from repro.model import save_system
+
+
+@pytest.fixture
+def system_file(mixed_system, tmp_path):
+    path = tmp_path / "system.json"
+    save_system(mixed_system, path)
+    return str(path)
+
+
+@pytest.fixture
+def infeasible_file(tmp_path):
+    from repro.model import DAG, SporadicDAGTask, TaskSystem
+
+    system = TaskSystem(
+        [SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="bad")]
+    )
+    path = tmp_path / "bad.json"
+    save_system(system, path)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_accepted_exit_zero(self, system_file, capsys):
+        assert analyze_main([system_file, "-m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPTED" in out
+
+    def test_rejected_exit_one(self, infeasible_file, capsys):
+        assert analyze_main([infeasible_file, "-m", "4"]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_baselines_flag(self, system_file, capsys):
+        analyze_main([system_file, "-m", "4", "--baselines"])
+        out = capsys.readouterr().out
+        assert "global EDF" in out and "fully partitioned" in out
+
+    def test_size_flag(self, system_file, capsys):
+        analyze_main([system_file, "-m", "4", "--size"])
+        assert "smallest admitting platform" in capsys.readouterr().out
+
+    def test_size_flag_infeasible(self, infeasible_file, capsys):
+        analyze_main([infeasible_file, "-m", "4", "--size"])
+        assert "no platform" in capsys.readouterr().out
+
+    def test_slack_flag(self, system_file, capsys):
+        analyze_main([system_file, "-m", "4", "--slack"])
+        assert "bottleneck" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            analyze_main([str(tmp_path / "ghost.json"), "-m", "4"])
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{ nope")
+        with pytest.raises(SystemExit):
+            analyze_main([str(path), "-m", "4"])
+
+
+class TestSimulate:
+    def test_clean_run(self, system_file, capsys):
+        code = simulate_main(
+            [system_file, "-m", "4", "--horizon", "100", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_rejected_system(self, infeasible_file, capsys):
+        assert simulate_main([infeasible_file, "-m", "4"]) == 1
+
+    def test_default_horizon(self, system_file, capsys):
+        assert simulate_main([system_file, "-m", "4"]) == 0
+
+    def test_svg_output(self, system_file, tmp_path, capsys):
+        svg_path = tmp_path / "trace.svg"
+        code = simulate_main(
+            [
+                system_file,
+                "-m", "4",
+                "--horizon", "60",
+                "--svg", str(svg_path),
+            ]
+        )
+        assert code == 0
+        assert svg_path.exists()
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_pattern_and_exec_model_options(self, system_file):
+        code = simulate_main(
+            [
+                system_file,
+                "-m", "4",
+                "--horizon", "80",
+                "--pattern", "uniform",
+                "--exec-model", "uniform_fraction",
+            ]
+        )
+        assert code == 0
+
+
+class TestGenerate:
+    def test_generates_loadable_system(self, tmp_path, capsys):
+        from repro.cli import generate_main
+        from repro.model import load_system
+
+        out = tmp_path / "gen.json"
+        code = generate_main(
+            [str(out), "-n", "6", "-m", "4", "-u", "0.4", "--seed", "9"]
+        )
+        assert code == 0
+        system = load_system(out)
+        assert len(system) == 6
+        assert "written to" in capsys.readouterr().out
+
+    def test_reproducible(self, tmp_path):
+        from repro.cli import generate_main
+        from repro.model import load_system
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        generate_main([str(a), "--seed", "4"])
+        generate_main([str(b), "--seed", "4"])
+        assert load_system(a) == load_system(b)
+
+    def test_pipeline_generate_analyze_simulate(self, tmp_path, capsys):
+        from repro.cli import analyze_main, generate_main, simulate_main
+
+        out = tmp_path / "sys.json"
+        assert generate_main(
+            [str(out), "-n", "6", "-m", "8", "-u", "0.3", "--seed", "2"]
+        ) == 0
+        analyze_code = analyze_main([str(out), "-m", "8"])
+        if analyze_code == 0:
+            assert simulate_main(
+                [str(out), "-m", "8", "--horizon", "100"]
+            ) == 0
+
+    def test_invalid_parameters_exit_two(self, tmp_path, capsys):
+        from repro.cli import generate_main
+
+        assert generate_main(
+            [str(tmp_path / "x.json"), "-n", "0"]
+        ) == 2
+
+    def test_randfixedsum_method(self, tmp_path):
+        from repro.cli import generate_main
+        from repro.model import load_system
+
+        out = tmp_path / "rfs.json"
+        assert generate_main(
+            [str(out), "--utilization-method", "randfixedsum", "--seed", "1"]
+        ) == 0
+        load_system(out)
+
+
+class TestAnalyzeResponses:
+    def test_responses_flag(self, system_file, capsys):
+        from repro.cli import analyze_main
+
+        analyze_main([system_file, "-m", "4", "--responses"])
+        out = capsys.readouterr().out
+        assert "WCRT bound" in out and "headroom" in out

@@ -1,0 +1,132 @@
+"""Edge-case tests across the core algorithms: degenerate platforms,
+boundary densities, tie situations, and numeric extremes."""
+
+import pytest
+
+from repro.core.dbf import edf_approx_test, edf_exact_test
+from repro.core.fedcons import FailureReason, fedcons
+from repro.core.list_scheduling import list_schedule
+from repro.core.minprocs import minprocs
+from repro.core.partition import partition_sporadic
+from repro.model.dag import DAG
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+class TestBoundaryDensities:
+    def test_density_exactly_one_goes_federated(self):
+        # delta == 1 is high-density per the paper; it must get a cluster,
+        # never be sequentialised.
+        task = SporadicDAGTask(DAG.single_vertex(5), 5, 10, name="edge")
+        result = fedcons(TaskSystem([task]), 2)
+        assert result.success
+        assert len(result.allocations) == 1
+
+    def test_density_just_below_one_is_partitioned(self):
+        task = SporadicDAGTask(DAG.single_vertex(5), 5.0001, 10, name="edge")
+        result = fedcons(TaskSystem([task]), 2)
+        assert result.success
+        assert not result.allocations
+
+    def test_deadline_equals_critical_path(self):
+        # D == len: schedulable only if LS can realise the critical path,
+        # i.e. with enough processors for full parallelism.
+        dag = DAG.fork_join([2, 2, 2], 1, 1)
+        task = SporadicDAGTask(dag, deadline=4, period=10, name="tight")
+        result = fedcons(TaskSystem([task]), 3)
+        assert result.success
+        assert result.allocations[0].schedule.makespan == pytest.approx(4)
+
+    def test_deadline_epsilon_below_critical_path(self):
+        dag = DAG.fork_join([2, 2, 2], 1, 1)
+        task = SporadicDAGTask(dag, deadline=3.999, period=10, name="late")
+        result = fedcons(TaskSystem([task]), 16)
+        assert not result.success
+        assert result.reason is FailureReason.STRUCTURALLY_INFEASIBLE
+
+
+class TestSingleProcessorPlatform:
+    def test_m1_is_pure_uniprocessor_edf(self, rng):
+        # On one processor FEDCONS degenerates to sequentialised EDF.
+        tasks = [
+            SporadicDAGTask(DAG.chain([1, 1]), 8, 10, name="a"),
+            SporadicDAGTask(DAG.single_vertex(2), 6, 12, name="b"),
+        ]
+        system = TaskSystem(tasks)
+        accepted = fedcons(system, 1).success
+        sporadic = [t.to_sporadic() for t in tasks]
+        assert accepted == edf_approx_test(sporadic)
+
+    def test_m1_high_density_task_uses_whole_platform(self):
+        task = SporadicDAGTask(DAG.chain([4, 4]), 8, 10, name="x")
+        result = fedcons(TaskSystem([task]), 1)
+        assert result.success
+        assert result.allocations[0].processors == (0,)
+        assert result.shared_processor_count == 0
+
+
+class TestNumericExtremes:
+    def test_tiny_wcets(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(1e-9), 1e-6, 1e-6, name=f"t{i}")
+            for i in range(3)
+        ]
+        assert fedcons(TaskSystem(tasks), 1).success
+
+    def test_huge_wcets(self):
+        task = SporadicDAGTask(
+            DAG.independent([1e9, 1e9]), 1.5e9, 2e9, name="huge"
+        )
+        result = fedcons(TaskSystem([task]), 2)
+        assert result.success
+
+    def test_widely_spread_periods(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(0.5), 1, 1, name="fast"),
+            SporadicDAGTask(DAG.single_vertex(1000), 9000, 10000, name="slow"),
+        ]
+        result = fedcons(TaskSystem(tasks), 2)
+        assert result.success
+        # The exact test still terminates on this spread.
+        for bucket in result.partition.assignment:
+            assert edf_exact_test(list(bucket))
+
+
+class TestTies:
+    def test_equal_deadline_partition_order_stable(self):
+        tasks = [
+            SporadicTask(1, 5, 10, name=f"t{i}") for i in range(4)
+        ]
+        a = partition_sporadic(tasks, 2)
+        b = partition_sporadic(tasks, 2)
+        assert [
+            [t.name for t in bucket] for bucket in a.assignment
+        ] == [[t.name for t in bucket] for bucket in b.assignment]
+
+    def test_ls_deterministic_under_ties(self):
+        dag = DAG.independent([2, 2, 2, 2])
+        s1 = list_schedule(dag, 2)
+        s2 = list_schedule(dag, 2)
+        assert [(x.vertex, x.processor, x.start) for x in s1.slots] == [
+            (x.vertex, x.processor, x.start) for x in s2.slots
+        ]
+
+
+class TestLargeSystems:
+    def test_hundred_task_system(self):
+        tasks = [
+            SporadicDAGTask(
+                DAG.chain([1, 1]), 40 + i % 7, 80 + i % 13, name=f"t{i}"
+            )
+            for i in range(100)
+        ]
+        result = fedcons(TaskSystem(tasks), 8)
+        assert result.success
+
+    def test_minprocs_on_large_parallel_dag(self):
+        dag = DAG.independent([1.0] * 256)
+        task = SporadicDAGTask(dag, deadline=16, period=20, name="wide")
+        result = minprocs(task, 64)
+        assert result is not None
+        assert result.processors == 16

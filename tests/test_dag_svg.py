@@ -1,0 +1,54 @@
+"""Unit tests for repro.viz.dag_svg (layered node-link rendering)."""
+
+import xml.etree.ElementTree as ET
+
+from repro.model.dag import DAG
+from repro.viz.dag_svg import dag_to_svg
+
+
+class TestDagSvg:
+    def test_well_formed(self, fig1_dag):
+        ET.fromstring(dag_to_svg(fig1_dag))
+
+    def test_all_vertices_labelled(self, fig1_dag):
+        svg = dag_to_svg(fig1_dag)
+        for v in fig1_dag.vertices:
+            assert f">{v}<" in svg
+
+    def test_wcets_shown(self, fig1_dag):
+        svg = dag_to_svg(fig1_dag)
+        for v in fig1_dag.vertices:
+            assert f">{fig1_dag.wcet(v):g}<" in svg
+
+    def test_edge_count(self, fig1_dag):
+        svg = dag_to_svg(fig1_dag)
+        assert svg.count("<line") == len(fig1_dag.edges)
+
+    def test_critical_path_highlight(self, fig1_dag):
+        with_hl = dag_to_svg(fig1_dag)
+        without = dag_to_svg(fig1_dag, highlight_critical=False)
+        assert "#c00000" in with_hl
+        assert "#c00000" not in without
+
+    def test_title(self, fig1_dag):
+        assert "my title" in dag_to_svg(fig1_dag, title="my title")
+
+    def test_single_vertex(self):
+        svg = dag_to_svg(DAG.single_vertex(3, vertex="solo"))
+        ET.fromstring(svg)
+        assert "solo" in svg
+
+    def test_deep_chain_layout_is_wide(self):
+        chain = dag_to_svg(DAG.chain([1] * 10))
+        wide = dag_to_svg(DAG.independent([1] * 10))
+        chain_width = int(chain.split('width="')[1].split('"')[0])
+        wide_width = int(wide.split('width="')[1].split('"')[0])
+        assert chain_width > wide_width  # depth spreads columns
+
+    def test_edges_point_rightward(self, diamond_dag):
+        # Layered placement: every edge's source column is left of its target.
+        svg = dag_to_svg(diamond_dag)
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        for line in root.iter(f"{ns}line"):
+            assert float(line.get("x1")) < float(line.get("x2")) + 1e-9

@@ -1,0 +1,171 @@
+"""Unit tests for repro.core.dbf (uniprocessor EDF tests)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.dbf import (
+    demand_breakpoints,
+    edf_approx_test,
+    edf_density_test,
+    edf_exact_test,
+    minimum_speed_exact,
+    testing_interval_bound,
+    total_dbf,
+    total_dbf_approx,
+)
+from repro.model.sporadic import SporadicTask
+
+
+class TestAggregates:
+    def test_total_dbf_sums(self, sporadic_pair):
+        t = 20.0
+        assert total_dbf(sporadic_pair, t) == sum(x.dbf(t) for x in sporadic_pair)
+
+    def test_total_dbf_approx_sums(self, sporadic_pair):
+        t = 20.0
+        assert total_dbf_approx(sporadic_pair, t) == sum(
+            x.dbf_approx(t) for x in sporadic_pair
+        )
+
+    def test_approx_dominates(self, sporadic_pair):
+        for x in range(0, 200):
+            t = x / 4
+            assert total_dbf_approx(sporadic_pair, t) >= total_dbf(
+                sporadic_pair, t
+            ) - 1e-12
+
+
+class TestDensityTest:
+    def test_accepts_light(self):
+        assert edf_density_test([SporadicTask(1, 4, 10)])
+
+    def test_rejects_overdense(self):
+        assert not edf_density_test(
+            [SporadicTask(3, 4, 10), SporadicTask(2, 4, 10)]
+        )
+
+    def test_boundary_accepted(self):
+        assert edf_density_test([SporadicTask(4, 4, 10)])
+
+
+class TestApproxTest:
+    def test_empty_set_schedulable(self):
+        assert edf_approx_test([])
+
+    def test_utilization_over_one_rejected(self):
+        assert not edf_approx_test([SporadicTask(6, 10, 10), SporadicTask(5, 10, 10)])
+
+    def test_single_task_boundary(self):
+        assert edf_approx_test([SporadicTask(4, 4, 4)])
+
+    def test_tight_pair_rejected(self):
+        # Demands 3 + 2 = 5 at t = 4 > 4.
+        assert not edf_approx_test([SporadicTask(3, 4, 10), SporadicTask(2, 4, 10)])
+
+    def test_staggered_pair_accepted(self):
+        assert edf_approx_test([SporadicTask(2, 4, 10), SporadicTask(2, 8, 10)])
+
+    def test_approx_implies_exact(self, rng):
+        # DBF* acceptance is sufficient for exact schedulability.
+        for _ in range(100):
+            tasks = [
+                SporadicTask(
+                    wcet=float(rng.uniform(0.1, 3)),
+                    deadline=float(rng.uniform(2, 10)),
+                    period=float(rng.uniform(5, 20)),
+                )
+                for _ in range(int(rng.integers(1, 5)))
+            ]
+            if edf_approx_test(tasks):
+                assert edf_exact_test(tasks)
+
+
+class TestExactTest:
+    def test_empty(self):
+        assert edf_exact_test([])
+
+    def test_full_utilization_implicit(self):
+        assert edf_exact_test([SporadicTask(5, 10, 10), SporadicTask(5, 10, 10)])
+
+    def test_overload_rejected(self):
+        assert not edf_exact_test([SporadicTask(6, 10, 10), SporadicTask(5, 10, 10)])
+
+    def test_constrained_demand_peak_detected(self):
+        # U = 0.6 but both need 2 units within deadline 2 simultaneously.
+        tasks = [SporadicTask(2, 2, 10), SporadicTask(2, 2, 10)]
+        assert not edf_exact_test(tasks)
+
+    def test_exact_sharper_than_approx(self):
+        # A set the approximation rejects but exact accepts: DBF* charges
+        # task A a fractional carry (0.02 * 2) at t = 4 that no real job
+        # pattern can generate.
+        tasks = [SporadicTask(2, 2, 100), SporadicTask(2, 4, 100)]
+        assert edf_exact_test(tasks)
+        assert not edf_approx_test(tasks)
+
+    def test_negative_horizon_rejected(self, sporadic_pair):
+        with pytest.raises(AnalysisError):
+            edf_exact_test(sporadic_pair, horizon=-1)
+
+
+class TestTestingInterval:
+    def test_formula_low_utilization(self):
+        tasks = [SporadicTask(1, 4, 10)]
+        bound = testing_interval_bound(tasks)
+        assert bound >= 4
+
+    def test_empty(self):
+        assert testing_interval_bound([]) == 0.0
+
+    def test_degenerate_high_utilization_finite(self):
+        tasks = [SporadicTask(10, 10, 10)]
+        assert testing_interval_bound(tasks) > 0
+
+    def test_breakpoints_are_deadlines(self):
+        tasks = [SporadicTask(1, 3, 5)]
+        assert demand_breakpoints(tasks, 14) == [3, 8, 13]
+
+    def test_breakpoints_merged_sorted(self, sporadic_pair):
+        points = demand_breakpoints(sporadic_pair, 30)
+        assert points == sorted(set(points))
+
+
+class TestMinimumSpeed:
+    def test_empty(self):
+        assert minimum_speed_exact([]) == 0.0
+
+    def test_single_implicit_task(self):
+        assert minimum_speed_exact([SporadicTask(5, 10, 10)]) == pytest.approx(
+            0.5, abs=1e-3
+        )
+
+    def test_simultaneous_tight_jobs(self):
+        tasks = [SporadicTask(1, 1, 10), SporadicTask(1, 1, 10)]
+        assert minimum_speed_exact(tasks) == pytest.approx(2.0, rel=1e-3)
+
+    def test_result_is_sufficient(self, rng):
+        for _ in range(20):
+            tasks = [
+                SporadicTask(
+                    wcet=float(rng.uniform(0.5, 3)),
+                    deadline=float(rng.uniform(2, 8)),
+                    period=float(rng.uniform(4, 16)),
+                )
+                for _ in range(3)
+            ]
+            speed = minimum_speed_exact(tasks)
+            assert edf_exact_test([t.scaled(speed * 1.001) for t in tasks])
+
+    def test_result_is_necessary(self, rng):
+        for _ in range(20):
+            tasks = [
+                SporadicTask(
+                    wcet=float(rng.uniform(0.5, 3)),
+                    deadline=float(rng.uniform(2, 8)),
+                    period=float(rng.uniform(4, 16)),
+                )
+                for _ in range(3)
+            ]
+            speed = minimum_speed_exact(tasks)
+            if speed > sum(t.utilization for t in tasks) + 1e-6:
+                assert not edf_exact_test([t.scaled(speed * 0.99) for t in tasks])

@@ -1,0 +1,35 @@
+"""Every example script must run clean end-to-end (they are executable
+documentation; a broken example is a broken deliverable)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # artifacts (visuals/) land in the temp dir
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_every_example_has_docstring_header():
+    for script in EXAMPLES:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python"), script.name
+        assert '"""' in text.split("\n", 2)[1], script.name

@@ -1,0 +1,167 @@
+"""Tests for repro.experiments: reporting, harness, and every experiment in
+quick mode (each run end-to-end with tiny samples)."""
+
+import pytest
+
+from repro.errors import AnalysisError, ReproError
+from repro.experiments.harness import ALGORITHMS, acceptance_sweep, sweep_table
+from repro.experiments.reporting import Table
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.generation.tasksets import SystemConfig
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "demo" in text and "2.500" in text
+
+    def test_wrong_arity_rejected(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ReproError, match="columns"):
+            table.add_row(1)
+
+    def test_bool_formatting(self):
+        table = Table("demo", ["x"])
+        table.add_row(True)
+        assert "yes" in table.render()
+
+    def test_column_extraction(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_column_unknown(self):
+        table = Table("demo", ["a"])
+        with pytest.raises(ReproError, match="no column"):
+            table.column("zzz")
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2)
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        content = path.read_text()
+        assert "# demo" in content and "1,2" in content
+
+    def test_notes_rendered(self):
+        table = Table("demo", ["a"])
+        table.add_row(1)
+        table.notes.append("important caveat")
+        assert "important caveat" in table.render()
+
+    def test_empty_table_renders(self):
+        assert "demo" in Table("demo", ["a"]).render()
+
+
+class TestHarness:
+    def test_known_algorithms(self):
+        assert {"FEDCONS", "GEDF", "PARTITIONED"} <= set(ALGORITHMS)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown algorithm"):
+            acceptance_sweep(SystemConfig(), [0.5], ["MYSTERY"], samples=1)
+
+    def test_invalid_samples(self):
+        with pytest.raises(AnalysisError, match="samples"):
+            acceptance_sweep(SystemConfig(), [0.5], ["FEDCONS"], samples=0)
+
+    def test_sweep_shape(self):
+        cfg = SystemConfig(tasks=4, processors=4, max_vertices=10)
+        points = acceptance_sweep(
+            cfg, [0.2, 0.6], ["FEDCONS", "PARTITIONED"], samples=5, seed=1
+        )
+        assert len(points) == 2
+        for point in points:
+            assert set(point.acceptance) == {"FEDCONS", "PARTITIONED"}
+            assert 0.0 <= point.acceptance["FEDCONS"] <= 1.0
+
+    def test_sweep_deterministic(self):
+        cfg = SystemConfig(tasks=4, processors=4, max_vertices=10)
+        a = acceptance_sweep(cfg, [0.4], ["FEDCONS"], samples=5, seed=7)
+        b = acceptance_sweep(cfg, [0.4], ["FEDCONS"], samples=5, seed=7)
+        assert a == b
+
+    def test_acceptance_declines_with_load(self):
+        cfg = SystemConfig(tasks=8, processors=4, max_vertices=12)
+        points = acceptance_sweep(
+            cfg, [0.1, 0.9], ["FEDCONS"], samples=15, seed=2
+        )
+        assert points[0].acceptance["FEDCONS"] >= points[1].acceptance["FEDCONS"]
+
+    def test_sweep_table(self):
+        cfg = SystemConfig(tasks=4, processors=4, max_vertices=10)
+        points = acceptance_sweep(cfg, [0.3], ["FEDCONS"], samples=3, seed=0)
+        table = sweep_table("t", points, ["FEDCONS"])
+        assert table.column("FEDCONS")
+
+
+class TestExperimentRegistry:
+    def test_all_design_md_ids_present(self):
+        expected = {
+            "FIG1", "EX2", "THM1", "LEM1", "LEM2",
+            "EXP-A", "EXP-B", "EXP-C", "EXP-D", "EXP-E", "EXP-F", "EXP-G", "EXT-H", "EXP-I", "EXP-J", "EXP-K", "EXP-L", "EXP-M", "EXP-N", "EXP-O",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("NOPE")
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_quick_run_produces_tables(self, exp_id):
+        samples = 3 if exp_id != "EXP-E" else 2
+        tables = run_experiment(exp_id, samples=samples, seed=0, quick=True)
+        assert tables
+        for table in tables:
+            assert table.rows
+            table.render()
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-A" in out
+
+    def test_nothing_to_do(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_single_experiment_with_csv(self, tmp_path, capsys):
+        code = main(
+            ["-e", "FIG1", "--quick", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("fig1_*.csv"))
+        assert "FIG1" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["-e", "NOPE"]) == 2
+
+
+class TestExperimentAssertions:
+    """The load-bearing qualitative claims, checked at tiny sample sizes."""
+
+    def test_fig1_matches_paper(self):
+        tables = run_experiment("FIG1")
+        quantities = tables[0]
+        measured = dict(zip(quantities.column("quantity"),
+                            quantities.column("measured")))
+        assert measured["len"] == 6
+        assert measured["vol"] == 9
+
+    def test_example2_speed_grows(self):
+        tables = run_experiment("EX2", quick=True)
+        speeds = tables[0].column("FEDCONS min speed (measured)")
+        assert speeds == sorted(speeds)
+        assert speeds[-1] > speeds[0]
+
+    def test_speedup_ratios_below_bound(self):
+        table = run_experiment("THM1", samples=5, quick=True)[0]
+        for row in table.rows:
+            observed_max = row[4]
+            bound = row[5]
+            assert observed_max <= bound + 0.5  # generous envelope at n=5

@@ -1,0 +1,170 @@
+"""Failure-injection tests: every validator and simulator guard must catch
+deliberately corrupted inputs rather than produce silent garbage."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.core.fedcons import HighDensityAllocation, fedcons
+from repro.core.minprocs import minprocs
+from repro.core.schedule import Schedule, Slot
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+from repro.sim.cluster import simulate_cluster
+from repro.sim.trace import Trace
+from repro.sim.workload import DagJobInstance
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not ReproError:
+                    assert issubclass(obj, ReproError), name
+
+    def test_single_catch_covers_model_and_analysis(self):
+        with pytest.raises(ReproError):
+            DAG({})
+        with pytest.raises(ReproError):
+            fedcons(TaskSystem([SporadicDAGTask(DAG.single_vertex(1), 1, 2)]), 0)
+
+
+class TestCorruptedTemplates:
+    """A tampered template must fail validation, not run-time."""
+
+    @pytest.fixture
+    def allocation(self, high_density_task):
+        result = fedcons(TaskSystem([high_density_task]), 2)
+        return result.allocations[0]
+
+    def test_shifted_slot_detected(self, allocation):
+        task = allocation.task
+        slots = list(allocation.schedule.slots)
+        # Shift one slot to start before its predecessor finishes... the
+        # independent task has no precedence, so overlap two slots instead.
+        first, second = (
+            allocation.schedule.slots_on(0)[0],
+            allocation.schedule.slots_on(0)[1],
+        )
+        tampered = [
+            s
+            for s in slots
+            if not (s.vertex == second.vertex and s.processor == second.processor)
+        ]
+        tampered.append(
+            Slot(
+                start=first.start + 0.5 * first.length,
+                end=first.start + 0.5 * first.length + second.length,
+                processor=second.processor,
+                vertex=second.vertex,
+            )
+        )
+        schedule = Schedule(task.dag, tampered, allocation.schedule.processors)
+        with pytest.raises(ScheduleError, match="overlap"):
+            schedule.validate()
+
+    def test_wrong_wcet_slot_detected(self, allocation):
+        task = allocation.task
+        slots = list(allocation.schedule.slots)
+        victim = slots.pop()
+        slots.append(
+            Slot(
+                start=victim.start,
+                end=victim.end + 1.0,  # longer than the WCET
+                processor=victim.processor,
+                vertex=victim.vertex,
+            )
+        )
+        schedule = Schedule(task.dag, slots, allocation.schedule.processors)
+        with pytest.raises(ScheduleError, match="length"):
+            schedule.validate()
+
+    def test_precedence_corruption_detected(self, fig1_task):
+        result = minprocs(fig1_task, 2)
+        template = result.schedule
+        # Move the sink's slot to time zero: precedence must break.
+        slots = [s for s in template.slots if s.vertex != "v5"]
+        sink = template.slot("v5")
+        slots.append(
+            Slot(start=0.0, end=sink.length, processor=sink.processor, vertex="v5")
+        )
+        corrupted = Schedule(fig1_task.dag, slots, template.processors)
+        with pytest.raises(ScheduleError):
+            corrupted.validate()
+
+
+class TestSimulatorGuards:
+    def test_cluster_rejects_overrun(self, high_density_task):
+        result = fedcons(TaskSystem([high_density_task]), 2)
+        allocation = result.allocations[0]
+        bad_job = DagJobInstance(
+            task=high_density_task,
+            release=0.0,
+            execution_times={
+                v: high_density_task.dag.wcet(v) * 1.5
+                for v in high_density_task.dag.vertices
+            },
+        )
+        with pytest.raises(SimulationError, match="WCET"):
+            simulate_cluster(allocation, [bad_job], Trace())
+
+    def test_cluster_rejects_illegal_release_rate(self, high_density_task):
+        result = fedcons(TaskSystem([high_density_task]), 2)
+        allocation = result.allocations[0]
+        wcets = dict(high_density_task.dag.wcets)
+        jobs = [
+            DagJobInstance(high_density_task, 0.0, wcets),
+            DagJobInstance(high_density_task, 0.5, wcets),  # << T, overlaps
+        ]
+        with pytest.raises(SimulationError, match="occupies"):
+            simulate_cluster(allocation, jobs, Trace())
+
+    def test_tampered_allocation_breaks_loudly(self, high_density_task, rng):
+        """Replaying a template on a task it was not built for is caught by
+        the precedence/WCET guards rather than silently mis-simulated."""
+        result = fedcons(TaskSystem([high_density_task]), 2)
+        allocation = result.allocations[0]
+        other = SporadicDAGTask(
+            DAG.chain([4, 4, 4, 4]), deadline=18, period=20, name="imposter"
+        )
+        from repro.sim.workload import generate_dag_jobs
+
+        jobs = list(generate_dag_jobs(other, 20, rng))
+        with pytest.raises(SimulationError):
+            simulate_cluster(allocation, jobs, Trace())
+
+
+class TestAnalysisGuards:
+    def test_minprocs_on_arbitrary_deadline(self):
+        task = SporadicDAGTask(DAG.single_vertex(1), deadline=10, period=5)
+        with pytest.raises(AnalysisError):
+            minprocs(task, 4)
+
+    def test_system_with_nan_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            SporadicDAGTask(DAG.single_vertex(1), float("nan"), 5)
+
+    def test_partition_result_verify_catches_corruption(self, sporadic_pair):
+        from repro.core.partition import PartitionResult
+        from repro.model.sporadic import SporadicTask
+
+        overloaded = PartitionResult(
+            success=True,
+            assignment=(
+                tuple(
+                    [SporadicTask(9, 10, 10, name=f"x{i}") for i in range(2)]
+                ),
+            ),
+            processors=1,
+        )
+        assert not overloaded.verify()
+        assert not overloaded.verify(exact=True)

@@ -1,0 +1,164 @@
+"""Unit tests for repro.core.fedcons (Figure 2 of the paper)."""
+
+import pytest
+
+from repro.errors import AnalysisError, ModelError
+from repro.core.fedcons import FailureReason, fedcons
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+class TestBasics:
+    def test_single_low_density_task(self, fig1_task):
+        result = fedcons(TaskSystem([fig1_task]), 1)
+        assert result.success
+        assert not result.allocations
+        assert result.partition.success
+
+    def test_single_high_density_task(self, high_density_task):
+        result = fedcons(TaskSystem([high_density_task]), 2)
+        assert result.success
+        assert len(result.allocations) == 1
+        assert result.allocations[0].cluster_size == 2
+
+    def test_mixed_system(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        assert result.success
+        assert result.dedicated_processor_count == 2
+        assert result.shared_processor_count == 2
+
+    def test_sequence_input_accepted(self, fig1_task):
+        assert fedcons([fig1_task], 1).success
+
+    def test_invalid_processors(self, mixed_system):
+        with pytest.raises(AnalysisError, match=">= 1"):
+            fedcons(mixed_system, 0)
+
+    def test_arbitrary_deadline_rejected(self):
+        task = SporadicDAGTask(DAG.single_vertex(1), deadline=9, period=5, name="x")
+        with pytest.raises(ModelError, match="constrained"):
+            fedcons(TaskSystem([task]), 4)
+
+
+class TestFailures:
+    def test_structural_infeasibility(self):
+        task = SporadicDAGTask(DAG.chain([5, 5]), deadline=8, period=20, name="x")
+        result = fedcons(TaskSystem([task]), 16)
+        assert not result.success
+        assert result.reason is FailureReason.STRUCTURALLY_INFEASIBLE
+        assert result.failed_task.name == "x"
+
+    def test_high_density_phase_exhaustion(self):
+        a = SporadicDAGTask(DAG.independent([4] * 4), 8, 10, name="a")
+        b = SporadicDAGTask(DAG.independent([4] * 4), 8, 10, name="b")
+        result = fedcons(TaskSystem([a, b]), 3)
+        assert not result.success
+        assert result.reason is FailureReason.HIGH_DENSITY_PHASE
+        assert result.failed_task.name == "b"
+        # The first task's allocation survives in the diagnostics.
+        assert len(result.allocations) == 1
+
+    def test_partition_phase_failure(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(2), 2.5, 10, name=f"t{i}")
+            for i in range(3)
+        ]
+        result = fedcons(TaskSystem(tasks), 2)
+        assert not result.success
+        assert result.reason is FailureReason.PARTITION_PHASE
+        assert result.failed_task is not None
+
+    def test_failed_task_is_original_dag_task(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(2), 2.5, 10, name=f"t{i}")
+            for i in range(3)
+        ]
+        result = fedcons(TaskSystem(tasks), 2)
+        assert result.failed_task in tasks
+
+
+class TestDeployment:
+    def test_processor_indices_disjoint(self, rng):
+        cfg = SystemConfig(tasks=8, processors=8, normalized_utilization=0.45)
+        accepted = 0
+        while accepted < 10:
+            system = generate_system(cfg, rng)
+            result = fedcons(system, 8)
+            if not result.success:
+                continue
+            accepted += 1
+            used: set[int] = set()
+            for alloc in result.allocations:
+                assert not (used & set(alloc.processors))
+                used.update(alloc.processors)
+            assert not (used & set(result.shared_processors))
+            assert used | set(result.shared_processors) == set(range(8))
+
+    def test_templates_meet_deadlines(self, rng):
+        cfg = SystemConfig(tasks=6, processors=8, normalized_utilization=0.5)
+        accepted = 0
+        while accepted < 10:
+            system = generate_system(cfg, rng)
+            result = fedcons(system, 8)
+            if not result.success:
+                continue
+            accepted += 1
+            for alloc in result.allocations:
+                assert alloc.schedule.meets_deadline(alloc.task.deadline)
+                alloc.schedule.validate()
+
+    def test_partition_covers_all_low_density(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        placed = {
+            t.name for bucket in result.partition.assignment for t in bucket
+        }
+        assert placed == {t.name for t in mixed_system.low_density_tasks}
+
+    def test_allocation_for(self, mixed_system, high_density_task):
+        result = fedcons(mixed_system, 4)
+        alloc = result.allocation_for(high_density_task)
+        assert alloc.task == high_density_task
+
+    def test_allocation_for_unknown(self, mixed_system, low_density_task):
+        result = fedcons(mixed_system, 4)
+        with pytest.raises(AnalysisError, match="no dedicated allocation"):
+            result.allocation_for(low_density_task)
+
+    def test_describe_accepted(self, mixed_system):
+        text = fedcons(mixed_system, 4).describe()
+        assert "ACCEPTED" in text and "high" in text
+
+    def test_describe_rejected(self):
+        task = SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="bad")
+        text = fedcons(TaskSystem([task]), 2).describe()
+        assert "REJECTED" in text and "bad" in text
+
+
+class TestMonotonicity:
+    def test_more_processors_never_hurt(self, rng):
+        cfg = SystemConfig(tasks=6, processors=6, normalized_utilization=0.5)
+        for _ in range(15):
+            system = generate_system(cfg, rng)
+            for m in range(2, 10):
+                if fedcons(system, m).success:
+                    assert fedcons(system, m + 2).success
+                    break
+
+    def test_speed_monotone(self, rng):
+        cfg = SystemConfig(tasks=6, processors=4, normalized_utilization=0.6)
+        for _ in range(15):
+            system = generate_system(cfg, rng)
+            if fedcons(system, 4).success:
+                assert fedcons(system.scaled(2.0), 4).success
+
+
+class TestPaperExample:
+    def test_example2_needs_n_processors_at_unit_speed(self):
+        from repro.analysis.speedup import example2_system
+
+        for n in (2, 4, 8):
+            system = example2_system(n)
+            assert fedcons(system, n).success
+            assert not fedcons(system, n - 1).success

@@ -1,0 +1,177 @@
+"""Unit tests for repro.core.fixed_priority and the DM pool extension."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.dbf import edf_exact_test
+from repro.core.fixed_priority import (
+    deadline_monotonic,
+    fp_exact_test,
+    rbf_approx_test,
+    response_time_analysis,
+)
+from repro.extensions.fixed_priority_pool import (
+    FpAdmission,
+    fedcons_fp,
+    partition_fp,
+)
+from repro.model.dag import DAG
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+def _t(c, d, t, name=""):
+    return SporadicTask(c, d, t, name=name)
+
+
+class TestDeadlineMonotonic:
+    def test_orders_by_deadline(self):
+        tasks = [_t(1, 9, 10, "late"), _t(1, 2, 10, "early")]
+        ordered = deadline_monotonic(tasks)
+        assert [t.name for t in ordered] == ["early", "late"]
+
+    def test_stable_on_ties(self):
+        tasks = [_t(1, 5, 10, "a"), _t(1, 5, 10, "b")]
+        assert [t.name for t in deadline_monotonic(tasks)] == ["a", "b"]
+
+
+class TestResponseTimeAnalysis:
+    def test_single_task(self):
+        assert response_time_analysis([_t(3, 10, 10)]) == [3]
+
+    def test_textbook_example(self):
+        # Classic RTA: C=(1,2,3), T=D=(4,6,10).
+        tasks = [_t(1, 4, 4), _t(2, 6, 6), _t(3, 10, 10)]
+        responses = response_time_analysis(tasks)
+        assert responses == [1, 3, 10]
+
+    def test_unschedulable_returns_none(self):
+        tasks = [_t(3, 4, 4), _t(3, 5, 5)]
+        assert response_time_analysis(tasks) is None
+
+    def test_rejects_arbitrary_deadline(self):
+        with pytest.raises(AnalysisError, match="constrained"):
+            response_time_analysis([_t(1, 12, 10)])
+
+    def test_interference_monotone_in_priority(self):
+        tasks = [_t(1, 4, 4), _t(1, 6, 6), _t(1, 10, 10)]
+        responses = response_time_analysis(tasks)
+        assert responses == sorted(responses)
+
+
+class TestFpTests:
+    def test_empty_schedulable(self):
+        assert fp_exact_test([])
+
+    def test_rbf_implies_exact(self, rng):
+        for _ in range(100):
+            tasks = deadline_monotonic(
+                [
+                    _t(
+                        float(rng.uniform(0.1, 2)),
+                        float(rng.uniform(2, 10)),
+                        float(rng.uniform(10, 20)),
+                    )
+                    for _ in range(int(rng.integers(1, 5)))
+                ]
+            )
+            if rbf_approx_test(tasks):
+                assert fp_exact_test(tasks)
+
+    def test_edf_dominates_dm_exact(self, rng):
+        # EDF optimality: anything DM-schedulable is EDF-schedulable.
+        for _ in range(100):
+            tasks = deadline_monotonic(
+                [
+                    _t(
+                        float(rng.uniform(0.1, 2)),
+                        float(rng.uniform(2, 10)),
+                        float(rng.uniform(10, 20)),
+                    )
+                    for _ in range(3)
+                ]
+            )
+            if fp_exact_test(tasks):
+                assert edf_exact_test(tasks)
+
+    def test_edf_strictly_better_example(self):
+        # Liu & Layland: RM/DM caps below 100% utilization; EDF reaches it.
+        tasks = [_t(2.5, 5, 5), _t(3.5, 7, 7)]  # U ~ 1.0
+        assert edf_exact_test(tasks)
+        assert not fp_exact_test(deadline_monotonic(tasks))
+
+
+class TestPartitionFp:
+    def test_simple(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(2), 6, 10, name=f"t{i}")
+            for i in range(3)
+        ]
+        result = partition_fp(tasks, 2)
+        assert result.success
+        assert result.verify  # method exists; FP buckets checked below
+
+    def test_buckets_pass_rta(self, rng):
+        from repro.generation.tasksets import SystemConfig, generate_system
+
+        cfg = SystemConfig(tasks=8, processors=4, normalized_utilization=0.4,
+                           deadline_ratio=(0.7, 1.0), max_vertices=10)
+        checked = 0
+        while checked < 10:
+            system = generate_system(cfg, rng)
+            if system.high_density_tasks:
+                continue
+            result = partition_fp(list(system.low_density_tasks), 4)
+            if not result.success:
+                continue
+            checked += 1
+            for bucket in result.assignment:
+                assert fp_exact_test(deadline_monotonic(list(bucket)))
+
+    def test_high_density_rejected(self, high_density_task):
+        with pytest.raises(AnalysisError, match="high-density"):
+            partition_fp([high_density_task], 4)
+
+    def test_failure_reported(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(2), 2.5, 10, name=f"t{i}")
+            for i in range(3)
+        ]
+        result = partition_fp(tasks, 1)
+        assert not result.success
+        assert result.failed_task is not None
+
+
+class TestFedconsFp:
+    def test_mixed_system(self, mixed_system):
+        result = fedcons_fp(mixed_system, 4)
+        assert result.success
+        assert result.dedicated_processor_count == 2
+
+    def test_structural_failure_passthrough(self):
+        bad = SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")
+        result = fedcons_fp(TaskSystem([bad]), 4)
+        assert not result.success
+        assert result.reason.value == "structurally_infeasible"
+
+    def test_clusters_identical_to_edf_variant(self, mixed_system):
+        from repro.core.fedcons import fedcons
+
+        edf = fedcons(mixed_system, 4)
+        dm = fedcons_fp(mixed_system, 4)
+        assert [a.processors for a in edf.allocations] == [
+            a.processors for a in dm.allocations
+        ]
+
+    def test_rbf_admission_conservative(self, rng):
+        from repro.generation.tasksets import SystemConfig, generate_system
+
+        cfg = SystemConfig(tasks=8, processors=4, normalized_utilization=0.4,
+                           max_vertices=10)
+        for _ in range(10):
+            system = generate_system(cfg, rng)
+            if fedcons_fp(system, 4, admission=FpAdmission.RBF_APPROX).success:
+                assert fedcons_fp(
+                    system, 4, admission=FpAdmission.RTA_EXACT
+                ).success

@@ -1,0 +1,279 @@
+"""Unit tests for repro.generation (DAG generators, parameters, task sets)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.generation.dag_generators import (
+    erdos_renyi_dag,
+    layered_dag,
+    nested_fork_join,
+    series_parallel,
+)
+from repro.generation.parameters import (
+    constrained_deadline,
+    loguniform,
+    loguniform_wcet_sampler,
+    period_for_utilization,
+    uniform_wcet_sampler,
+    uunifast,
+)
+from repro.generation.tasksets import SystemConfig, generate_system, generate_task
+
+
+class TestErdosRenyi:
+    def test_vertex_count(self, rng):
+        assert len(erdos_renyi_dag(17, 0.3, rng)) == 17
+
+    def test_zero_probability_no_edges(self, rng):
+        assert len(erdos_renyi_dag(10, 0.0, rng).edges) == 0
+
+    def test_full_probability_complete_order(self, rng):
+        dag = erdos_renyi_dag(6, 1.0, rng)
+        assert len(dag.edges) == 15  # 6 choose 2
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(GenerationError):
+            erdos_renyi_dag(0, 0.5, rng)
+        with pytest.raises(GenerationError):
+            erdos_renyi_dag(5, 1.5, rng)
+
+    def test_wcets_positive(self, rng):
+        dag = erdos_renyi_dag(20, 0.3, rng)
+        assert all(dag.wcet(v) > 0 for v in dag.vertices)
+
+
+class TestLayered:
+    def test_every_non_source_has_predecessor(self, rng):
+        dag = layered_dag(4, 5, 0.3, rng)
+        sources = set(dag.sources)
+        first_layer_max = max(sources, key=lambda v: v) if sources else 0
+        for v in dag.vertices:
+            if v not in sources:
+                assert dag.predecessors(v)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(GenerationError):
+            layered_dag(0, 3, 0.5, rng)
+
+
+class TestNestedForkJoin:
+    def test_single_source_sink(self, rng):
+        dag = nested_fork_join(3, 3, rng)
+        assert len(dag.sources) == 1
+        assert len(dag.sinks) == 1
+
+    def test_depth_zero_single_job(self, rng):
+        assert len(nested_fork_join(0, 3, rng)) == 1
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(GenerationError):
+            nested_fork_join(-1, 3, rng)
+        with pytest.raises(GenerationError):
+            nested_fork_join(2, 1, rng)
+
+
+class TestSeriesParallel:
+    def test_reaches_target(self, rng):
+        dag = series_parallel(20, rng)
+        assert 20 <= len(dag) <= 23
+
+    def test_single_vertex(self, rng):
+        assert len(series_parallel(1, rng)) == 1
+
+    def test_invalid(self, rng):
+        with pytest.raises(GenerationError):
+            series_parallel(0, rng)
+
+
+class TestParameters:
+    def test_uunifast_sums(self, rng):
+        for n, total in ((1, 0.5), (5, 2.0), (20, 10.0)):
+            values = uunifast(n, total, rng)
+            assert len(values) == n
+            assert sum(values) == pytest.approx(total)
+            assert all(v >= 0 for v in values)
+
+    def test_uunifast_invalid(self, rng):
+        with pytest.raises(GenerationError):
+            uunifast(0, 1.0, rng)
+        with pytest.raises(GenerationError):
+            uunifast(3, 0.0, rng)
+
+    def test_uunifast_distribution_unbiased(self):
+        # Mean share of each slot converges to total/n.
+        rng = np.random.default_rng(0)
+        n, total, reps = 4, 2.0, 2000
+        sums = np.zeros(n)
+        for _ in range(reps):
+            sums += uunifast(n, total, rng)
+        assert np.allclose(sums / reps, total / n, atol=0.05)
+
+    def test_loguniform_bounds(self, rng):
+        for _ in range(100):
+            x = loguniform(2.0, 50.0, rng)
+            assert 2.0 <= x <= 50.0
+
+    def test_loguniform_invalid(self, rng):
+        with pytest.raises(GenerationError):
+            loguniform(0, 5, rng)
+
+    def test_uniform_wcet_sampler(self, rng):
+        sampler = uniform_wcet_sampler(3, 7)
+        values = {sampler(rng) for _ in range(200)}
+        assert values <= {3.0, 4.0, 5.0, 6.0, 7.0}
+
+    def test_loguniform_wcet_sampler(self, rng):
+        sampler = loguniform_wcet_sampler(1.0, 10.0)
+        assert all(1.0 <= sampler(rng) <= 10.0 for _ in range(100))
+
+    def test_period_for_utilization(self):
+        assert period_for_utilization(10.0, 0.5) == 20.0
+
+    def test_period_invalid(self):
+        with pytest.raises(GenerationError):
+            period_for_utilization(0, 0.5)
+
+    def test_constrained_deadline_bounds(self, rng):
+        for _ in range(100):
+            d = constrained_deadline(5.0, 20.0, rng, (0.0, 1.0))
+            assert 5.0 <= d <= 20.0
+
+    def test_constrained_deadline_exact_range(self, rng):
+        assert constrained_deadline(5.0, 20.0, rng, (1.0, 1.0)) == 20.0
+        assert constrained_deadline(5.0, 20.0, rng, (0.0, 0.0)) == 5.0
+
+    def test_constrained_deadline_infeasible_period(self, rng):
+        with pytest.raises(GenerationError, match="infeasible"):
+            constrained_deadline(10.0, 5.0, rng)
+
+
+class TestSystemConfig:
+    def test_defaults_valid(self):
+        SystemConfig()
+
+    def test_invalid_task_count(self):
+        with pytest.raises(GenerationError):
+            SystemConfig(tasks=0)
+
+    def test_invalid_dag_kind(self):
+        with pytest.raises(GenerationError):
+            SystemConfig(dag_kind="mystery")
+
+    def test_with_utilization(self):
+        cfg = SystemConfig().with_utilization(0.8)
+        assert cfg.normalized_utilization == 0.8
+
+
+class TestGenerateSystem:
+    def test_task_count(self, rng):
+        system = generate_system(SystemConfig(tasks=7), rng)
+        assert len(system) == 7
+
+    def test_constrained_deadlines(self, rng):
+        for _ in range(5):
+            system = generate_system(SystemConfig(tasks=5), rng)
+            assert all(t.is_constrained_deadline for t in system)
+
+    def test_structurally_feasible(self, rng):
+        for _ in range(5):
+            system = generate_system(SystemConfig(tasks=5), rng)
+            assert system.structurally_feasible()
+
+    def test_utilization_close_to_target(self, rng):
+        cfg = SystemConfig(tasks=10, processors=8, normalized_utilization=0.5)
+        system = generate_system(cfg, rng)
+        # Clamping can only reduce; typically by very little.
+        assert system.total_utilization <= 0.5 * 8 + 1e-9
+        assert system.total_utilization >= 0.5 * 8 * 0.8
+
+    def test_seed_reproducibility(self):
+        cfg = SystemConfig(tasks=6)
+        assert generate_system(cfg, 42) == generate_system(cfg, 42)
+
+    def test_different_seeds_differ(self):
+        cfg = SystemConfig(tasks=6)
+        assert generate_system(cfg, 1) != generate_system(cfg, 2)
+
+    def test_all_dag_kinds(self, rng):
+        for kind in ("erdos_renyi", "layered", "nested_fork_join",
+                     "series_parallel"):
+            system = generate_system(SystemConfig(tasks=4, dag_kind=kind), rng)
+            assert len(system) == 4
+
+    def test_generate_task_invalid_utilization(self, rng):
+        with pytest.raises(GenerationError):
+            generate_task(0.0, SystemConfig(), rng)
+
+    def test_names_assigned(self, rng):
+        system = generate_system(SystemConfig(tasks=3), rng)
+        assert [t.name for t in system] == ["task0", "task1", "task2"]
+
+
+class TestRandFixedSum:
+    def test_sum_exact(self, rng):
+        from repro.generation.parameters import randfixedsum
+
+        for n, total in ((1, 0.7), (3, 2.0), (10, 4.5)):
+            values = randfixedsum(n, total, rng)
+            assert sum(values) == pytest.approx(total)
+
+    def test_bounds_respected(self, rng):
+        from repro.generation.parameters import randfixedsum
+
+        for _ in range(100):
+            values = randfixedsum(4, 2.0, rng, low=0.2, high=0.9)
+            assert all(0.2 - 1e-9 <= v <= 0.9 + 1e-9 for v in values)
+            assert sum(values) == pytest.approx(2.0)
+
+    def test_unsatisfiable_rejected(self, rng):
+        from repro.generation.parameters import randfixedsum
+
+        with pytest.raises(GenerationError, match="unreachable"):
+            randfixedsum(2, 5.0, rng, low=0.0, high=1.0)
+        with pytest.raises(GenerationError):
+            randfixedsum(0, 1.0, rng)
+
+    def test_degenerate_equal_bounds(self, rng):
+        from repro.generation.parameters import randfixedsum
+
+        assert randfixedsum(4, 4.0, rng, low=1.0, high=1.0) == [1.0] * 4
+
+    def test_unbiased_means(self):
+        from repro.generation.parameters import randfixedsum
+
+        gen = np.random.default_rng(1)
+        acc = np.zeros(4)
+        reps = 3000
+        for _ in range(reps):
+            acc += randfixedsum(4, 2.0, gen, low=0.0, high=1.0)
+        assert np.allclose(acc / reps, 0.5, atol=0.03)
+
+    def test_values_can_exceed_one_without_upper_bound(self, rng):
+        from repro.generation.parameters import randfixedsum
+
+        seen_heavy = False
+        for _ in range(200):
+            values = randfixedsum(3, 2.5, rng)
+            if max(values) > 1.0:
+                seen_heavy = True
+        assert seen_heavy
+
+
+class TestUtilizationMethodConfig:
+    def test_randfixedsum_method(self, rng):
+        cfg = SystemConfig(tasks=6, utilization_method="randfixedsum")
+        system = generate_system(cfg, rng)
+        assert len(system) == 6
+        assert system.total_utilization <= cfg.normalized_utilization * cfg.processors + 1e-6
+
+    def test_invalid_method(self):
+        with pytest.raises(GenerationError, match="utilization_method"):
+            SystemConfig(utilization_method="magic")
+
+    def test_methods_differ(self):
+        a = generate_system(SystemConfig(tasks=6), 5)
+        b = generate_system(
+            SystemConfig(tasks=6, utilization_method="randfixedsum"), 5
+        )
+        assert a != b

@@ -1,0 +1,54 @@
+"""Additional coverage of the experiment harness and registered algorithms."""
+
+import pytest
+
+from repro.experiments.harness import ALGORITHMS
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+class TestAlgorithmRegistry:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_algorithm_returns_bool(self, name, rng):
+        cfg = SystemConfig(tasks=4, processors=4, min_vertices=5, max_vertices=8,
+                           normalized_utilization=0.3)
+        system = generate_system(cfg, rng)
+        verdict = ALGORITHMS[name](system, 4)
+        assert isinstance(verdict, bool)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_algorithm_accepts_trivial_system(self, name):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(1), 100, 100, name="idle")]
+        )
+        assert ALGORITHMS[name](system, 4)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_algorithm_rejects_infeasible_system(self, name):
+        # U_sum far above the platform: no sound test may accept.
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(10), 10, 10, name=f"t{i}")
+            for i in range(8)
+        ]
+        assert not ALGORITHMS[name](TaskSystem(tasks), 2)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_deterministic(self, name, rng):
+        cfg = SystemConfig(tasks=5, processors=4, min_vertices=5, max_vertices=8)
+        system = generate_system(cfg, 77)
+        assert ALGORITHMS[name](system, 4) == ALGORITHMS[name](system, 4)
+
+    def test_gedf_union_consistency(self, rng):
+        # The union column can only accept when some member accepts.
+        cfg = SystemConfig(tasks=5, processors=4, min_vertices=5, max_vertices=8,
+                           normalized_utilization=0.4)
+        for _ in range(10):
+            system = generate_system(cfg, rng)
+            union = ALGORITHMS["GEDF"](system, 4)
+            members = any(
+                ALGORITHMS[k](system, 4)
+                for k in ("GEDF-density", "GEDF-load", "GEDF-RTA")
+            )
+            assert union == members

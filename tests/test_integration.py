@@ -1,0 +1,175 @@
+"""Cross-module integration tests: the full analysis -> deployment ->
+simulation pipeline, agreement between analyses, and the public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import DAG, SporadicDAGTask, TaskSystem, fedcons
+from repro.analysis import (
+    necessary_conditions,
+    necessary_speed_bound,
+    theorem1_bound,
+)
+from repro.baselines import gedf_any_test, partitioned_sequential
+from repro.core.dbf import edf_exact_test
+from repro.generation import SystemConfig, generate_system
+from repro.model import load_system, save_system
+from repro.sim import (
+    ExecutionTimeModel,
+    ReleasePattern,
+    Trace,
+    generate_dag_jobs,
+    simulate_deployment,
+    simulate_global_edf,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.extensions
+        import repro.generation
+        import repro.model
+        import repro.paper
+        import repro.sim
+
+        for module in (
+            repro.analysis, repro.baselines, repro.core, repro.experiments,
+            repro.extensions, repro.generation, repro.model, repro.paper,
+            repro.sim,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)
+
+
+class TestPipeline:
+    def test_generate_analyse_deploy_simulate_roundtrip(self, tmp_path, rng):
+        cfg = SystemConfig(tasks=8, processors=8, normalized_utilization=0.45)
+        deployed = 0
+        while deployed < 3:
+            system = generate_system(cfg, rng)
+            # Persist and reload: the deployment must be identical.
+            path = tmp_path / "sys.json"
+            save_system(system, path)
+            system = load_system(path)
+            result = fedcons(system, 8)
+            if not result.success:
+                continue
+            deployed += 1
+            assert necessary_conditions(system, 8).feasible_maybe
+            report = simulate_deployment(
+                result,
+                horizon=3 * max(t.period for t in system),
+                rng=deployed,
+                pattern=ReleasePattern.UNIFORM,
+                exec_model=ExecutionTimeModel.UNIFORM_FRACTION,
+            )
+            assert report.ok
+
+    def test_fedcons_vs_gedf_simulation_cross_check(self, rng):
+        """When the GEDF *analysis* accepts, the GEDF *simulation* of the
+        synchronous periodic WCET pattern never misses."""
+        cfg = SystemConfig(tasks=5, processors=4, normalized_utilization=0.35,
+                           max_vertices=10)
+        checked = 0
+        while checked < 5:
+            system = generate_system(cfg, rng)
+            if not gedf_any_test(system, 4):
+                continue
+            checked += 1
+            horizon = 2 * max(t.period for t in system)
+            gen = np.random.default_rng(checked)
+            jobs = [
+                j for t in system for j in generate_dag_jobs(t, horizon, gen)
+            ]
+            trace = Trace()
+            simulate_global_edf(system, 4, jobs, trace)
+            assert not trace.misses
+
+    def test_partitioned_buckets_agree_with_edf_oracle(self, rng):
+        cfg = SystemConfig(tasks=10, processors=4,
+                           normalized_utilization=0.45,
+                           deadline_ratio=(0.7, 1.0), max_vertices=10)
+        checked = 0
+        while checked < 5:
+            system = generate_system(cfg, rng)
+            result = partitioned_sequential(system, 4)
+            if not result.success:
+                continue
+            checked += 1
+            for bucket in result.assignment:
+                assert edf_exact_test(list(bucket))
+
+
+class TestTheorem1EndToEnd:
+    def test_bound_never_violated_on_sample(self, rng):
+        """The measured FEDCONS speed never exceeds (3 - 1/m) times the
+        necessary speed by more than binary-search tolerance."""
+        from repro.analysis import minimum_fedcons_speed
+
+        cfg = SystemConfig(tasks=4, processors=4, normalized_utilization=0.5,
+                           max_vertices=10)
+        for _ in range(5):
+            system = generate_system(cfg, rng)
+            s_fed = minimum_fedcons_speed(system, 4, tolerance=1e-2)
+            s_lb = necessary_speed_bound(system, 4)
+            # The ratio bounds the true speedup factor from above, so it may
+            # exceed the theorem's constant only through lower-bound slack;
+            # in practice it stays below.  Assert the sane envelope.
+            assert s_fed <= (theorem1_bound(4) + 0.6) * s_lb
+
+
+class TestHardCases:
+    def test_deeply_nested_dag(self):
+        # 200-vertex chain, very long but sequential.
+        task = SporadicDAGTask(DAG.chain([1] * 200), 250, 300, name="deep")
+        result = fedcons(TaskSystem([task]), 1)
+        assert result.success
+
+    def test_very_wide_dag(self):
+        task = SporadicDAGTask(
+            DAG.independent([1] * 128), deadline=16, period=20, name="wide"
+        )
+        result = fedcons(TaskSystem([task]), 8)
+        assert result.success
+        assert result.allocations[0].cluster_size == 8
+
+    def test_many_tiny_tasks(self):
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(1), 50, 100, name=f"t{i}")
+            for i in range(100)
+        ]
+        result = fedcons(TaskSystem(tasks), 4)
+        assert result.success
+
+    def test_exact_fit_boundary(self):
+        # Tasks that exactly fill every processor.
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(10), 10, 10, name=f"t{i}")
+            for i in range(4)
+        ]
+        assert fedcons(TaskSystem(tasks), 4).success
+        assert not fedcons(TaskSystem(tasks), 3).success
+
+    def test_fractional_wcets(self):
+        tasks = [
+            SporadicDAGTask(
+                DAG({0: 0.3, 1: 0.7}, [(0, 1)]), 1.1, 2.3, name=f"t{i}"
+            )
+            for i in range(3)
+        ]
+        result = fedcons(TaskSystem(tasks), 3)
+        assert result.success
+        report = simulate_deployment(result, horizon=50, rng=0)
+        assert report.ok

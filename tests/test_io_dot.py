@@ -1,0 +1,86 @@
+"""Unit tests for repro.model.io_dot (DOT import)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.dag import DAG
+from repro.model.io_dot import load_dot, parse_dot
+from repro.viz.dot import dag_to_dot
+
+
+class TestParse:
+    def test_minimal(self):
+        dag = parse_dot('digraph g {\n a [wcet=2];\n b [wcet=3];\n a -> b;\n}')
+        assert dag.volume == 5
+        assert dag.edges == (("a", "b"),)
+
+    def test_integer_vertex_ids(self):
+        dag = parse_dot('digraph g {\n 1 [wcet=2];\n 2 [wcet=1];\n 1 -> 2;\n}')
+        assert dag.wcet(1) == 2
+
+    def test_label_wcet_extraction(self):
+        dag = parse_dot('digraph g {\n v [label="v (4.5)"];\n}')
+        assert dag.wcet("v") == 4.5
+
+    def test_default_wcet(self):
+        dag = parse_dot("digraph g {\n a -> b;\n}", default_wcet=7.0)
+        assert dag.wcet("a") == 7.0
+        assert dag.wcet("b") == 7.0
+
+    def test_missing_wcet_error(self):
+        with pytest.raises(ModelError, match="no wcet"):
+            parse_dot("digraph g {\n a;\n}")
+
+    def test_edge_only_vertex_without_default(self):
+        with pytest.raises(ModelError, match="default_wcet"):
+            parse_dot("digraph g {\n a -> b;\n}")
+
+    def test_missing_header(self):
+        with pytest.raises(ModelError, match="digraph"):
+            parse_dot("graph g { a; }")
+
+    def test_unparseable_statement(self):
+        with pytest.raises(ModelError, match="unparseable"):
+            parse_dot('digraph g {\n subgraph cluster0 { a; }\n}')
+
+    def test_skips_style_statements(self):
+        source = (
+            "digraph g {\n  rankdir=LR;\n  node [shape=circle];\n"
+            '  a [wcet=1];\n}'
+        )
+        assert len(parse_dot(source)) == 1
+
+    def test_cycle_rejected(self):
+        source = (
+            'digraph g {\n a [wcet=1];\n b [wcet=1];\n'
+            " a -> b;\n b -> a;\n}"
+        )
+        with pytest.raises(Exception):
+            parse_dot(source)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ModelError, match="no vertices"):
+            parse_dot("digraph g {\n}")
+
+
+class TestRoundTrip:
+    def test_viz_export_reimports(self, fig1_dag):
+        dot = dag_to_dot(fig1_dag, highlight_critical=False)
+        back = parse_dot(dot)
+        assert back == fig1_dag
+
+    def test_highlighted_export_reimports(self, fig1_dag):
+        back = parse_dot(dag_to_dot(fig1_dag))
+        assert back == fig1_dag
+
+    def test_random_dags_roundtrip(self, rng):
+        from repro.generation.dag_generators import erdos_renyi_dag
+
+        for _ in range(10):
+            dag = erdos_renyi_dag(12, 0.3, rng)
+            assert parse_dot(dag_to_dot(dag)) == dag
+
+    def test_file_roundtrip(self, fig1_dag, tmp_path):
+        path = tmp_path / "g.dot"
+        path.write_text(dag_to_dot(fig1_dag))
+        assert load_dot(path) == fig1_dag

@@ -1,0 +1,163 @@
+"""Unit tests for repro.core.list_scheduling (Graham's LS)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.list_scheduling import (
+    PRIORITY_ORDERS,
+    graham_anomaly_instance,
+    graham_makespan_bound,
+    list_schedule,
+    makespan_lower_bound,
+    priority_list,
+)
+from repro.generation.dag_generators import erdos_renyi_dag
+from repro.model.dag import DAG
+
+
+class TestBasics:
+    def test_single_processor_serialises(self, diamond_dag):
+        schedule = list_schedule(diamond_dag, 1)
+        assert schedule.makespan == diamond_dag.volume
+        schedule.validate()
+
+    def test_unlimited_processors_hit_critical_path(self, diamond_dag):
+        schedule = list_schedule(diamond_dag, len(diamond_dag))
+        assert schedule.makespan == diamond_dag.longest_chain_length
+
+    def test_chain_ignores_processors(self, chain_dag):
+        for m in (1, 2, 5):
+            assert list_schedule(chain_dag, m).makespan == chain_dag.volume
+
+    def test_independent_jobs_balanced(self):
+        dag = DAG.independent([1] * 6)
+        schedule = list_schedule(dag, 3)
+        assert schedule.makespan == 2
+
+    def test_work_conserving_no_needless_idle(self, wide_dag):
+        # 6 unit jobs on 6 processors: everything starts at 0.
+        schedule = list_schedule(wide_dag, 6)
+        assert all(s.start == 0 for s in schedule.slots)
+
+    def test_invalid_processor_count(self, diamond_dag):
+        with pytest.raises(AnalysisError, match=">= 1"):
+            list_schedule(diamond_dag, 0)
+
+    def test_all_schedules_validate(self, rng):
+        for _ in range(20):
+            dag = erdos_renyi_dag(12, 0.3, rng)
+            for m in (1, 2, 4):
+                list_schedule(dag, m).validate()
+
+
+class TestPriorityOrders:
+    def test_named_orders_exist(self):
+        assert {"topological", "longest_path", "largest_wcet",
+                "smallest_wcet"} <= set(PRIORITY_ORDERS)
+
+    def test_unknown_order_rejected(self, diamond_dag):
+        with pytest.raises(AnalysisError, match="unknown priority order"):
+            list_schedule(diamond_dag, 2, order="bogus")
+
+    def test_explicit_order_accepted(self, diamond_dag):
+        schedule = list_schedule(diamond_dag, 2, order=[0, 2, 1, 3])
+        schedule.validate()
+
+    def test_explicit_order_must_cover_vertices(self, diamond_dag):
+        with pytest.raises(AnalysisError, match="every DAG vertex"):
+            priority_list(diamond_dag, [0, 1])
+
+    def test_longest_path_prefers_critical_vertex(self, diamond_dag):
+        order = priority_list(diamond_dag, "longest_path")
+        # vertex 2 (on the 0-2-3 critical path) outranks vertex 1.
+        assert order.index(2) < order.index(1)
+
+    def test_every_order_satisfies_graham_bound(self, rng):
+        for _ in range(10):
+            dag = erdos_renyi_dag(15, 0.25, rng)
+            for m in (2, 3):
+                bound = graham_makespan_bound(dag, m)
+                for name in PRIORITY_ORDERS:
+                    assert list_schedule(dag, m, order=name).makespan <= bound + 1e-9
+
+
+class TestGrahamBound:
+    def test_formula(self, diamond_dag):
+        # len 5, vol 7, m 2 -> 5 + 1 = 6
+        assert graham_makespan_bound(diamond_dag, 2) == 6
+
+    def test_lower_bound_formula(self, diamond_dag):
+        assert makespan_lower_bound(diamond_dag, 2) == 5  # max(5, 3.5)
+
+    def test_bound_relationship(self, rng):
+        # Graham bound <= (2 - 1/m) * lower bound, always.
+        for _ in range(30):
+            dag = erdos_renyi_dag(10, 0.3, rng)
+            for m in (2, 3, 5):
+                assert graham_makespan_bound(dag, m) <= (
+                    (2 - 1 / m) * makespan_lower_bound(dag, m) + 1e-9
+                )
+
+    def test_ls_within_graham_bound(self, rng):
+        for _ in range(30):
+            dag = erdos_renyi_dag(10, 0.2, rng)
+            for m in (1, 2, 4):
+                ls = list_schedule(dag, m).makespan
+                assert ls <= graham_makespan_bound(dag, m) + 1e-9
+                assert ls >= makespan_lower_bound(dag, m) - 1e-9
+
+    def test_invalid_processors(self, diamond_dag):
+        with pytest.raises(AnalysisError):
+            graham_makespan_bound(diamond_dag, 0)
+        with pytest.raises(AnalysisError):
+            makespan_lower_bound(diamond_dag, 0)
+
+
+class TestAnomaly:
+    def test_instance_reproduces_graham_1969(self):
+        dag, reduced, priority, m = graham_anomaly_instance()
+        full = list_schedule(dag, m, order=priority)
+        shrunk = list_schedule(reduced, m, order=priority)
+        assert full.makespan == 12
+        assert shrunk.makespan == 13
+
+    def test_reduced_instance_has_smaller_wcets(self):
+        dag, reduced, _, _ = graham_anomaly_instance()
+        for v in dag.vertices:
+            assert reduced.wcet(v) == dag.wcet(v) - 1
+
+    def test_anomaly_schedules_are_valid(self):
+        dag, reduced, priority, m = graham_anomaly_instance()
+        list_schedule(dag, m, order=priority).validate()
+        list_schedule(reduced, m, order=priority).validate()
+
+
+class TestWcetOverride:
+    def test_override_used(self, chain_dag):
+        schedule = list_schedule(
+            chain_dag, 1, wcets={0: 1, 1: 1, 2: 1}
+        )
+        assert schedule.makespan == 3
+
+    def test_missing_override_rejected(self, chain_dag):
+        with pytest.raises(AnalysisError, match="missing execution times"):
+            list_schedule(chain_dag, 1, wcets={0: 1})
+
+    def test_override_respects_precedence(self, diamond_dag):
+        schedule = list_schedule(
+            diamond_dag, 2, wcets={0: 0.5, 1: 0.5, 2: 0.5, 3: 0.5}
+        )
+        slot3 = schedule.slot(3)
+        for pred in (1, 2):
+            assert schedule.slot(pred).end <= slot3.start + 1e-12
+
+
+class TestScaleInvariance:
+    def test_uniform_scaling_scales_makespan(self, rng):
+        # Critical for speed-monotonicity of MINPROCS/FEDCONS.
+        for _ in range(10):
+            dag = erdos_renyi_dag(12, 0.3, rng)
+            base = list_schedule(dag, 3).makespan
+            fast = list_schedule(dag.scaled(2.0), 3).makespan
+            assert fast == pytest.approx(base / 2.0)

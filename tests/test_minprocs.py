@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.minprocs (Figure 3 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.list_scheduling import list_schedule
+from repro.core.minprocs import minprocs, minprocs_unbounded
+from repro.generation.dag_generators import erdos_renyi_dag
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+
+
+class TestBasics:
+    def test_parallel_task_needs_two(self):
+        # 4x4 units of work, D=8: two processors exactly.
+        task = SporadicDAGTask(DAG.independent([4] * 4), deadline=8, period=10)
+        result = minprocs(task, available=8)
+        assert result is not None
+        assert result.processors == 2
+        assert result.schedule.makespan <= 8
+        result.schedule.validate()
+
+    def test_insufficient_processors_returns_none(self):
+        task = SporadicDAGTask(DAG.independent([4] * 4), deadline=8, period=10)
+        assert minprocs(task, available=1) is None
+
+    def test_zero_available_returns_none(self, fig1_task):
+        assert minprocs(fig1_task, available=0) is None
+
+    def test_negative_available_rejected(self, fig1_task):
+        with pytest.raises(AnalysisError, match=">= 0"):
+            minprocs(fig1_task, available=-1)
+
+    def test_arbitrary_deadline_rejected(self):
+        task = SporadicDAGTask(DAG.single_vertex(1), deadline=9, period=5)
+        with pytest.raises(AnalysisError, match="constrained-deadline"):
+            minprocs(task, available=4)
+
+    def test_infeasible_critical_path_returns_none(self):
+        task = SporadicDAGTask(DAG.chain([5, 5]), deadline=8, period=20)
+        assert minprocs(task, available=100) is None
+
+    def test_chain_needs_one_processor(self):
+        task = SporadicDAGTask(DAG.chain([2, 2, 2]), deadline=6, period=6)
+        result = minprocs(task, available=4)
+        assert result.processors == 1
+
+    def test_search_starts_at_density_ceiling(self):
+        # density = 16/8 = 2, so mu=1 is never tried: attempts counts from 2.
+        task = SporadicDAGTask(DAG.independent([4] * 4), deadline=8, period=10)
+        result = minprocs(task, available=8)
+        assert result.attempts == 1  # mu=2 succeeds immediately
+
+    def test_attempts_counts_failures(self):
+        # fork-join: 1 + 4 branches of 4 + 1, D=8 -> needs all 4 branch procs.
+        task = SporadicDAGTask(
+            DAG.fork_join([4, 4, 4, 4], 1, 1), deadline=8, period=10
+        )
+        result = minprocs(task, available=8)
+        assert result.processors == 4
+        # density ceil = ceil(18/8) = 3; tried 3 then 4.
+        assert result.attempts == 2
+
+
+class TestMinimality:
+    def test_returned_count_is_minimal_for_ls(self, rng):
+        for _ in range(15):
+            dag = erdos_renyi_dag(12, 0.2, rng)
+            deadline = dag.longest_chain_length * 1.3
+            task = SporadicDAGTask(dag, deadline, deadline)
+            result = minprocs_unbounded(task)
+            if result is None:
+                continue
+            mu = result.processors
+            if mu > max(1, math.ceil(task.density)):
+                # One fewer processor must fail (within the search range).
+                worse = list_schedule(dag, mu - 1)
+                assert worse.makespan > deadline + 1e-9
+
+    def test_never_below_density(self, rng):
+        for _ in range(15):
+            dag = erdos_renyi_dag(10, 0.1, rng)
+            deadline = dag.longest_chain_length * 1.05
+            task = SporadicDAGTask(dag, deadline, deadline)
+            result = minprocs_unbounded(task)
+            if result is not None:
+                assert result.processors >= task.density - 1e-9
+
+    def test_unbounded_terminates_at_vertex_count(self, rng):
+        for _ in range(10):
+            dag = erdos_renyi_dag(8, 0.3, rng)
+            deadline = dag.longest_chain_length  # tightest feasible
+            task = SporadicDAGTask(dag, deadline, deadline)
+            result = minprocs_unbounded(task)
+            assert result is not None
+            assert result.processors <= len(dag)
+            assert result.schedule.makespan <= deadline + 1e-9
+
+
+class TestTemplateProperties:
+    def test_template_meets_deadline(self, rng):
+        for _ in range(10):
+            dag = erdos_renyi_dag(15, 0.25, rng)
+            deadline = dag.longest_chain_length * 1.5
+            task = SporadicDAGTask(dag, deadline, deadline * 1.1)
+            result = minprocs_unbounded(task)
+            if result is not None:
+                assert result.schedule.meets_deadline(deadline)
+                result.schedule.validate()
+
+    def test_monotone_in_speed(self):
+        # Faster platform never needs more processors.
+        task = SporadicDAGTask(
+            DAG.fork_join([4, 4, 4, 4], 1, 1), deadline=8, period=10
+        )
+        slow = minprocs(task, 8).processors
+        fast = minprocs(task.scaled(2.0), 8).processors
+        assert fast <= slow

@@ -1,0 +1,75 @@
+"""Tests pinning the paper's worked examples (repro.paper)."""
+
+import pytest
+
+from repro.core.fedcons import fedcons
+from repro.core.list_scheduling import list_schedule
+from repro.model.taskset import TaskSystem
+from repro.paper import (
+    example2_required_speed,
+    example2_system,
+    figure1_dag,
+    figure1_task,
+)
+
+
+class TestFigure1:
+    def test_five_vertices_five_edges(self, fig1_dag):
+        assert len(fig1_dag) == 5
+        assert len(fig1_dag.edges) == 5
+
+    def test_volume_nine(self, fig1_dag):
+        assert fig1_dag.volume == 9
+
+    def test_longest_chain_six(self, fig1_dag):
+        assert fig1_dag.longest_chain_length == 6
+
+    def test_longest_chain_path(self, fig1_dag):
+        assert fig1_dag.longest_chain() == ("v1", "v3", "v5")
+
+    def test_task_parameters(self, fig1_task):
+        assert fig1_task.deadline == 16
+        assert fig1_task.period == 20
+
+    def test_example1_density(self, fig1_task):
+        assert fig1_task.density == pytest.approx(9 / 16)
+
+    def test_example1_utilization(self, fig1_task):
+        assert fig1_task.utilization == pytest.approx(9 / 20)
+
+    def test_low_density_classification(self, fig1_task):
+        assert fig1_task.is_low_density
+
+    def test_schedulable_on_one_processor(self, fig1_task):
+        # vol 9 <= D 16: fits a single shared processor.
+        result = fedcons(TaskSystem([fig1_task]), 1)
+        assert result.success
+        assert not result.allocations
+
+    def test_ls_two_processors_hits_critical_path(self, fig1_dag):
+        assert list_schedule(fig1_dag, 2).makespan == 6
+
+    def test_deterministic_construction(self):
+        assert figure1_dag() == figure1_dag()
+        assert figure1_task() == figure1_task()
+
+
+class TestExample2:
+    def test_unit_structure(self):
+        system = example2_system(3)
+        for task in system:
+            assert task.volume == 1
+            assert task.deadline == 1
+            assert task.period == 3
+
+    def test_utilization_one(self):
+        for n in (1, 5, 20):
+            assert example2_system(n).total_utilization == pytest.approx(1.0)
+
+    def test_speed_grows_linearly(self):
+        speeds = [example2_required_speed(n, 1) for n in (1, 2, 4, 8)]
+        assert speeds == [1, 2, 4, 8]
+
+    def test_paper_claim_no_constant_bound(self):
+        # "as n -> infinity, a speedup of infinity is necessary"
+        assert example2_required_speed(10**6, 1) == 10**6

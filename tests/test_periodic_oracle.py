@@ -1,0 +1,71 @@
+"""Unit tests for repro.analysis.periodic_oracle + cross-validation against
+the analytic demand-bound criterion."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.periodic_oracle import hyperperiod, periodic_edf_oracle
+from repro.core.dbf import edf_exact_test
+from repro.model.sporadic import SporadicTask
+
+
+class TestHyperperiod:
+    def test_lcm(self):
+        tasks = [SporadicTask(1, 4, 4), SporadicTask(1, 6, 6)]
+        assert hyperperiod(tasks) == 12
+
+    def test_empty(self):
+        assert hyperperiod([]) == 1
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(AnalysisError, match="integer periods"):
+            hyperperiod([SporadicTask(1, 4, 4.5)])
+
+    def test_explosion_guarded(self):
+        primes = [9973, 9967, 9949]
+        tasks = [SporadicTask(1, p, p) for p in primes]
+        with pytest.raises(AnalysisError, match="co-prime"):
+            hyperperiod(tasks)
+
+
+class TestOracle:
+    def test_empty(self):
+        assert periodic_edf_oracle([])
+
+    def test_full_utilization_implicit(self):
+        assert periodic_edf_oracle(
+            [SporadicTask(5, 10, 10), SporadicTask(5, 10, 10)]
+        )
+
+    def test_overload(self):
+        assert not periodic_edf_oracle(
+            [SporadicTask(6, 10, 10), SporadicTask(5, 10, 10)]
+        )
+
+    def test_constrained_peak(self):
+        assert not periodic_edf_oracle(
+            [SporadicTask(2, 2, 10), SporadicTask(2, 2, 10)]
+        )
+
+    def test_agrees_with_demand_criterion(self, rng):
+        """The independent hyperperiod simulation and the analytic
+        processor-demand test must give identical verdicts on random
+        integer constrained-deadline sets."""
+        agreements = 0
+        for _ in range(60):
+            tasks = []
+            for i in range(int(rng.integers(1, 5))):
+                period = int(rng.integers(2, 13))
+                deadline = int(rng.integers(1, period + 1))
+                wcet = int(rng.integers(1, max(2, deadline)))
+                tasks.append(
+                    SporadicTask(wcet, deadline, period, name=f"t{i}")
+                )
+            try:
+                analytic = edf_exact_test(tasks)
+                simulated = periodic_edf_oracle(tasks)
+            except AnalysisError:
+                continue
+            assert analytic == simulated, tasks
+            agreements += 1
+        assert agreements >= 40  # the sweep actually exercised the oracle

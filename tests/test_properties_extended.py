@@ -1,0 +1,169 @@
+"""Extended property-based tests: fixed-priority analysis, partitioning
+invariants, the periodic resource model, and template replay."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resource_model import (
+    edf_schedulable_under_supply,
+    linear_supply_bound,
+    supply_bound,
+)
+from repro.core.dbf import edf_exact_test
+from repro.core.fixed_priority import (
+    deadline_monotonic,
+    fp_exact_test,
+    rbf_approx_test,
+    response_time_analysis,
+)
+from repro.core.partition import partition_sporadic
+from repro.model.sporadic import SporadicTask
+
+
+@st.composite
+def constrained_tasks(draw):
+    wcet = draw(st.floats(min_value=0.1, max_value=4.0, allow_nan=False))
+    period = draw(st.floats(min_value=1.0, max_value=30.0, allow_nan=False))
+    deadline = draw(st.floats(min_value=0.5, max_value=period, allow_nan=False))
+    return SporadicTask(wcet=wcet, deadline=deadline, period=period)
+
+
+@st.composite
+def constrained_sets(draw, max_tasks: int = 5):
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    return [draw(constrained_tasks()) for _ in range(n)]
+
+
+class TestFixedPriorityProperties:
+    @given(constrained_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_rbf_implies_rta(self, tasks):
+        ordered = deadline_monotonic(tasks)
+        if rbf_approx_test(ordered):
+            assert fp_exact_test(ordered)
+
+    @given(constrained_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_dm_schedulable_implies_edf_schedulable(self, tasks):
+        ordered = deadline_monotonic(tasks)
+        if fp_exact_test(ordered):
+            assert edf_exact_test(ordered)
+
+    @given(constrained_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_responses_bound_by_deadlines_when_accepted(self, tasks):
+        ordered = deadline_monotonic(tasks)
+        responses = response_time_analysis(ordered)
+        if responses is not None:
+            for task, response in zip(ordered, responses):
+                assert task.wcet - 1e-9 <= response <= task.deadline + 1e-9
+
+    @given(constrained_sets(), st.floats(min_value=1.5, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_speed_monotone(self, tasks, speed):
+        ordered = deadline_monotonic(tasks)
+        if fp_exact_test(ordered):
+            assert fp_exact_test([t.scaled(speed) for t in ordered])
+
+
+class TestPartitionProperties:
+    @given(constrained_sets(max_tasks=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_buckets_exactly_cover_tasks(self, tasks, m):
+        named = [
+            SporadicTask(t.wcet, t.deadline, t.period, name=f"t{i}")
+            for i, t in enumerate(tasks)
+        ]
+        result = partition_sporadic(named, m)
+        if result.success:
+            placed = [t.name for bucket in result.assignment for t in bucket]
+            assert sorted(placed) == sorted(t.name for t in named)
+            for bucket in result.assignment:
+                assert edf_exact_test(list(bucket))
+
+    @given(constrained_sets(max_tasks=5), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_processor_monotone(self, tasks, m):
+        if partition_sporadic(tasks, m).success:
+            assert partition_sporadic(tasks, m + 1).success
+
+
+class TestSupplyBoundProperties:
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0.5, max_value=20),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_lsbf_below_sbf_below_t(self, t, period, budget_fraction):
+        budget = period * budget_fraction
+        sbf = supply_bound(t, period, budget)
+        assert linear_supply_bound(t, period, budget) <= sbf + 1e-9
+        assert sbf <= t + 1e-9
+
+    @given(
+        st.floats(min_value=0.5, max_value=20),
+        st.floats(min_value=0.01, max_value=1),
+    )
+    def test_sbf_converges_to_rate(self, period, budget_fraction):
+        budget = period * budget_fraction
+        t = 1000 * period
+        assert supply_bound(t, period, budget) / t == pytest.approx(
+            budget / period, rel=0.05
+        )
+
+    @given(constrained_sets(max_tasks=3), st.floats(min_value=0.5, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_supply_acceptance_implies_dedicated_acceptance(self, tasks, period):
+        # Hosting inside a partial-supply resource is harder than owning the
+        # processor: acceptance at budget Theta < Pi implies plain EDF
+        # acceptance.
+        budget = 0.7 * period
+        if edf_schedulable_under_supply(tasks, period, budget):
+            assert edf_exact_test(tasks)
+
+
+class TestTemplateReplayProperties:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_early_completion_never_misses(self, data):
+        """For any accepted high-density task and any execution-time draws
+        below the WCETs, template replay completes by the deadline."""
+        import numpy as np
+
+        from repro.core.fedcons import fedcons
+        from repro.generation.dag_generators import erdos_renyi_dag
+        from repro.model.task import SporadicDAGTask
+        from repro.model.taskset import TaskSystem
+        from repro.sim.cluster import simulate_cluster
+        from repro.sim.trace import Trace
+        from repro.sim.workload import DagJobInstance
+
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        rng = np.random.default_rng(seed)
+        dag = erdos_renyi_dag(8, 0.3, rng)
+        deadline = dag.longest_chain_length * float(rng.uniform(1.1, 2.0))
+        if dag.volume / deadline < 1.0:
+            return
+        task = SporadicDAGTask(dag, deadline, deadline * 1.2, name="t")
+        result = fedcons(TaskSystem([task]), 8)
+        if not result.success:
+            return
+        allocation = result.allocations[0]
+        fractions = {
+            v: data.draw(
+                st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+            )
+            for v in dag.vertices
+        }
+        job = DagJobInstance(
+            task=task,
+            release=0.0,
+            execution_times={v: dag.wcet(v) * f for v, f in fractions.items()},
+        )
+        trace = Trace()
+        simulate_cluster(allocation, [job], trace)
+        assert not trace.misses
+        assert trace.stats["t"].max_response <= deadline + 1e-9

@@ -1,0 +1,124 @@
+"""Targeted tests for the few paths the rest of the suite leaves uncovered."""
+
+import math
+
+import pytest
+
+from repro.analysis.speedup import minimum_accepting_speed
+from repro.core.dbf import edf_exact_test
+from repro.core.fedcons import FailureReason, fedcons
+from repro.extensions.fixed_priority_pool import fedcons_fp
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+class TestMinimumAcceptingSpeed:
+    def _accepts_on_one_processor(self, system):
+        return edf_exact_test([t.to_sporadic() for t in system])
+
+    def test_saturating_system_needs_speed_one(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(10), 10, 10, name="x")]
+        )
+        speed = minimum_accepting_speed(
+            self._accepts_on_one_processor, system, tolerance=1e-4
+        )
+        assert speed == pytest.approx(1.0, abs=1e-3)
+
+    def test_light_system_speed_below_one(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(2), 10, 10, name="x")]
+        )
+        speed = minimum_accepting_speed(
+            self._accepts_on_one_processor, system, tolerance=1e-4
+        )
+        assert speed == pytest.approx(0.2, abs=1e-2)
+
+    def test_heavy_system_speed_above_one(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(30), 10, 10, name="x")]
+        )
+        speed = minimum_accepting_speed(
+            self._accepts_on_one_processor, system, tolerance=1e-4
+        )
+        assert speed == pytest.approx(3.0, rel=1e-2)
+
+    def test_ceiling_returns_inf(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(100), 10, 10, name="x")]
+        )
+        speed = minimum_accepting_speed(
+            self._accepts_on_one_processor, system, max_speed=2.0
+        )
+        assert math.isinf(speed)
+
+
+class TestFedconsFpPassthrough:
+    def test_high_density_phase_failure_passthrough(self):
+        # Two cluster-hungry tasks on too few processors: phase 1 fails
+        # identically for both pool policies.
+        a = SporadicDAGTask(DAG.independent([4] * 4), 8, 10, name="a")
+        b = SporadicDAGTask(DAG.independent([4] * 4), 8, 10, name="b")
+        system = TaskSystem([a, b])
+        edf = fedcons(system, 3)
+        dm = fedcons_fp(system, 3)
+        assert not dm.success
+        assert dm.reason is FailureReason.HIGH_DENSITY_PHASE
+        assert dm.reason == edf.reason
+        assert dm.failed_task == edf.failed_task
+
+    def test_partition_phase_differs_from_edf(self):
+        # Liu-Layland style pair: EDF pool fits, DM pool does not.
+        tasks = [
+            SporadicDAGTask(DAG.single_vertex(2.5), 5, 5, name="a"),
+            SporadicDAGTask(DAG.single_vertex(3.49), 7, 7, name="b"),
+        ]
+        system = TaskSystem(tasks)
+        assert fedcons(system, 1).success
+        dm = fedcons_fp(system, 1)
+        assert not dm.success
+        assert dm.reason is FailureReason.PARTITION_PHASE
+
+
+class TestTraceSvgMisses:
+    def test_miss_markers_rendered(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.sim.trace import Trace
+        from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+        from repro.viz.svg import trace_to_svg
+
+        trace = Trace(record_executions=True)
+        jobs = [
+            SequentialJob("a", 0, 2, 2),
+            SequentialJob("b", 0, 2, 2),  # one of these must miss
+        ]
+        simulate_uniprocessor_edf(jobs, trace, processor=0)
+        report = trace.report(horizon=10)
+        assert not report.ok
+        svg = trace_to_svg(report, processors=1)
+        ET.fromstring(svg)
+        # The miss marker is a full-height red line.
+        assert 'stroke="#c00"' in svg
+
+
+class TestGanttTextEdgeCases:
+    def test_wide_label_clipping(self):
+        from repro.core.list_scheduling import list_schedule
+
+        dag = DAG({"very_long_vertex_name": 1, "b": 1},
+                   [("very_long_vertex_name", "b")])
+        schedule = list_schedule(dag, 1)
+        text = schedule.as_gantt_text(width=20)
+        assert "P0" in text  # renders without error despite long labels
+
+    def test_describe_of_failed_partition(self):
+        from repro.baselines.partitioned_sequential import partitioned_sequential
+
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.independent([4] * 4), 8, 10, name="dense")]
+        )
+        result = partitioned_sequential(system, 4)
+        assert not result.success
+        assert result.failed_task.name == "dense"

@@ -1,0 +1,198 @@
+"""Unit tests for repro.analysis.resource_model and repro.extensions.reservations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.resource_model import (
+    edf_schedulable_under_supply,
+    linear_supply_bound,
+    minimum_budget,
+    supply_bound,
+)
+from repro.core.dbf import edf_exact_test
+from repro.core.fedcons import fedcons
+from repro.extensions.reservations import plan_reservations
+from repro.model.sporadic import SporadicTask
+
+
+class TestSupplyBound:
+    def test_zero_budget(self):
+        assert supply_bound(100, 10, 0) == 0
+
+    def test_full_budget_is_dedicated(self):
+        for t in (0.5, 3, 10):
+            assert supply_bound(t, 5, 5) == t
+
+    def test_starvation_gap(self):
+        # No supply guaranteed before 2 * (Pi - Theta).
+        assert supply_bound(2 * (5 - 3), 5, 3) == 0
+        assert supply_bound(2 * (5 - 3) + 0.5, 5, 3) == pytest.approx(0.5)
+
+    def test_full_periods(self):
+        # Pi=5, Theta=3: sbf(2 + 5k) jumps by Theta per period.
+        assert supply_bound(7, 5, 3) == pytest.approx(3)
+        assert supply_bound(12, 5, 3) == pytest.approx(6)
+
+    def test_matches_adversarial_pattern(self):
+        # Early first chunk then late chunks is the worst legal supply.
+        def brute(t, Pi, Th, n=100_000):
+            xs = np.linspace(Th, Th + t, n, endpoint=False)
+            dx = t / n
+            in_first = (xs >= 0) & (xs < Th)
+            k = np.floor(xs / Pi)
+            in_late = (k >= 1) & ((xs - k * Pi) >= (Pi - Th))
+            return float((in_first | in_late).sum() * dx)
+
+        for Pi, Th in ((5, 3), (4, 1), (10, 9)):
+            for t in (0.5, Pi - Th, 2 * (Pi - Th) + 0.3, Pi, 2.7 * Pi):
+                assert supply_bound(t, Pi, Th) == pytest.approx(
+                    brute(t, Pi, Th), abs=0.01
+                )
+
+    def test_monotone_in_t(self):
+        values = [supply_bound(t / 4, 5, 3) for t in range(0, 120)]
+        assert values == sorted(values)
+
+    def test_monotone_in_budget(self):
+        for t in (3, 7, 12):
+            values = [supply_bound(t, 5, th) for th in (0, 1, 2, 3, 4, 5)]
+            assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            supply_bound(1, 0, 0)
+        with pytest.raises(AnalysisError):
+            supply_bound(1, 5, 6)
+
+    def test_linear_bound_underestimates(self):
+        for t in np.linspace(0, 40, 100):
+            assert linear_supply_bound(t, 5, 3) <= supply_bound(t, 5, 3) + 1e-9
+
+    def test_linear_bound_asymptotics(self):
+        # lsbf/t -> Theta/Pi for large t.
+        assert linear_supply_bound(1e6, 5, 3) / 1e6 == pytest.approx(0.6, rel=1e-3)
+
+
+class TestEdfUnderSupply:
+    def test_full_budget_equals_plain_edf(self, rng):
+        for _ in range(20):
+            tasks = [
+                SporadicTask(
+                    wcet=float(rng.uniform(0.2, 2)),
+                    deadline=float(rng.uniform(2, 8)),
+                    period=float(rng.uniform(6, 16)),
+                )
+                for _ in range(3)
+            ]
+            assert edf_schedulable_under_supply(tasks, 4.0, 4.0) == edf_exact_test(
+                tasks
+            )
+
+    def test_empty_set(self):
+        assert edf_schedulable_under_supply([], 5, 1)
+
+    def test_rate_violation_rejected(self):
+        tasks = [SporadicTask(5, 10, 10)]
+        assert not edf_schedulable_under_supply(tasks, 10, 4)
+
+    def test_starvation_gap_rejection(self):
+        # Utilization fits, but the gap 2*(Pi - Theta) exceeds the deadline.
+        tasks = [SporadicTask(0.5, 2, 20)]
+        assert not edf_schedulable_under_supply(tasks, 10, 8)
+        assert edf_schedulable_under_supply(tasks, 1.0, 0.8)
+
+    def test_monotone_in_budget(self, rng):
+        tasks = [SporadicTask(1, 5, 10), SporadicTask(1, 8, 12)]
+        verdicts = [
+            edf_schedulable_under_supply(tasks, 2.0, b)
+            for b in np.linspace(0.1, 2.0, 12)
+        ]
+        # Once True, stays True.
+        first_true = verdicts.index(True) if True in verdicts else len(verdicts)
+        assert all(verdicts[first_true:])
+
+
+class TestMinimumBudget:
+    def test_empty(self):
+        assert minimum_budget([], 5) == 0.0
+
+    def test_unschedulable_returns_none(self):
+        tasks = [SporadicTask(6, 5, 10)]  # needs more than a full processor
+        assert minimum_budget(tasks, 2) is None
+
+    def test_budget_between_rate_and_period(self):
+        tasks = [SporadicTask(1, 4, 10), SporadicTask(2, 8, 16)]
+        budget = minimum_budget(tasks, 2.0)
+        rate = sum(t.utilization for t in tasks)
+        assert rate * 2.0 - 1e-6 <= budget <= 2.0
+
+    def test_result_sufficient_and_tight(self):
+        tasks = [SporadicTask(1, 4, 10), SporadicTask(2, 8, 16)]
+        budget = minimum_budget(tasks, 2.0, tolerance=1e-5)
+        assert edf_schedulable_under_supply(tasks, 2.0, budget)
+        assert not edf_schedulable_under_supply(tasks, 2.0, budget * 0.98)
+
+    def test_budget_grows_with_period(self):
+        tasks = [SporadicTask(1, 4, 10)]
+        budgets = [minimum_budget(tasks, p) for p in (0.5, 1.0, 1.5)]
+        rates = [b / p for b, p in zip(budgets, (0.5, 1.0, 1.5))]
+        assert rates == sorted(rates)
+
+
+class TestReservationPlanning:
+    def test_plan_for_mixed_system(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        plan = plan_reservations(deployment, period_fraction=0.2)
+        assert plan.success
+        assert plan.total_rate >= plan.total_utilization
+        for r in plan.reservations:
+            assert 0 < r.budget <= r.period
+            assert r.processor in deployment.shared_processors
+
+    def test_premium_positive(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        plan = plan_reservations(deployment, period_fraction=0.3)
+        assert plan.total_premium > 0
+
+    def test_explicit_period(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        plan = plan_reservations(deployment, server_period=0.5)
+        assert plan.success
+
+    def test_describe(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        text = plan_reservations(deployment, period_fraction=0.2).describe()
+        assert "premium" in text
+
+    def test_requires_successful_deployment(self):
+        from repro.model.dag import DAG
+        from repro.model.task import SporadicDAGTask
+        from repro.model.taskset import TaskSystem
+
+        bad = fedcons(
+            TaskSystem([SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")]), 2
+        )
+        with pytest.raises(AnalysisError, match="successful"):
+            plan_reservations(bad)
+
+    def test_overlong_period_demands_near_full_rate(self, mixed_system):
+        # With a server period far beyond every deadline, the only way to
+        # bound the starvation gap 2 * (Pi - Theta) is a near-full budget:
+        # the reservation degenerates into (almost) a dedicated processor.
+        deployment = fedcons(mixed_system, 4)
+        plan = plan_reservations(deployment, server_period=1000.0)
+        assert plan.success
+        for r in plan.reservations:
+            assert r.rate > 0.99
+            assert r.premium > 0.5
+
+    def test_buckets_always_hostable_at_some_budget(self, mixed_system):
+        # FEDCONS buckets are EDF-schedulable on a full processor, and a
+        # full-budget reservation *is* a full processor, so planning never
+        # reports failure for a genuine deployment.
+        deployment = fedcons(mixed_system, 4)
+        for fraction in (0.05, 0.2, 0.5, 1.0):
+            assert plan_reservations(
+                deployment, period_fraction=fraction
+            ).success

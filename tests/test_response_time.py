@@ -1,0 +1,149 @@
+"""Unit tests for repro.analysis.response_time (Spuri's EDF WCRT)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.response_time import (
+    deployment_response_bounds,
+    edf_worst_case_response,
+    synchronous_busy_period,
+)
+from repro.core.dbf import edf_exact_test
+from repro.core.fedcons import fedcons
+from repro.model.sporadic import SporadicTask
+from repro.model.taskset import TaskSystem
+from repro.sim.trace import Trace
+from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+
+
+def _random_constrained_set(rng, max_tasks=4):
+    tasks = []
+    for i in range(int(rng.integers(1, max_tasks + 1))):
+        period = float(rng.integers(4, 16))
+        deadline = float(rng.integers(2, int(period) + 1))
+        wcet = float(rng.integers(1, max(2, int(deadline))))
+        tasks.append(SporadicTask(wcet, deadline, period, name=f"t{i}"))
+    return tasks
+
+
+class TestBusyPeriod:
+    def test_single_task(self):
+        assert synchronous_busy_period([SporadicTask(3, 10, 10)]) == 3
+
+    def test_textbook(self):
+        tasks = [SporadicTask(1, 4, 4), SporadicTask(2, 6, 6)]
+        # L = 1+2 = 3 -> ceil(3/4)*1 + ceil(3/6)*2 = 3 -> fixed point 3.
+        assert synchronous_busy_period(tasks) == 3
+
+    def test_empty(self):
+        assert synchronous_busy_period([]) == 0.0
+
+    def test_overload_rejected(self):
+        with pytest.raises(AnalysisError, match="diverges"):
+            synchronous_busy_period(
+                [SporadicTask(6, 10, 10), SporadicTask(5, 10, 10)]
+            )
+
+
+class TestSpuriWcrt:
+    def test_single_task_is_wcet(self):
+        assert edf_worst_case_response([SporadicTask(3, 10, 10)], 0) == 3
+
+    def test_two_task_example(self):
+        # Both released together: the shorter-deadline job runs first.
+        tasks = [SporadicTask(2, 4, 10, "a"), SporadicTask(3, 9, 10, "b")]
+        assert edf_worst_case_response(tasks, 0) == 2
+        assert edf_worst_case_response(tasks, 1) == 5
+
+    def test_index_validation(self):
+        with pytest.raises(AnalysisError):
+            edf_worst_case_response([SporadicTask(1, 2, 3)], 5)
+
+    def test_wcrt_within_deadline_iff_schedulable(self, rng):
+        """Exactness: all WCRTs within deadlines <=> demand criterion accepts."""
+        checked = 0
+        while checked < 40:
+            tasks = _random_constrained_set(rng)
+            if sum(t.utilization for t in tasks) > 1.0:
+                continue
+            checked += 1
+            wcrts = [
+                edf_worst_case_response(tasks, i) for i in range(len(tasks))
+            ]
+            all_within = all(
+                r <= t.deadline + 1e-9 for r, t in zip(wcrts, tasks)
+            )
+            assert all_within == edf_exact_test(tasks)
+
+    def test_simulation_never_exceeds_wcrt(self, rng):
+        checked = 0
+        while checked < 20:
+            tasks = _random_constrained_set(rng)
+            if sum(t.utilization for t in tasks) > 1.0:
+                continue
+            checked += 1
+            wcrts = {
+                t.name: edf_worst_case_response(tasks, i)
+                for i, t in enumerate(tasks)
+            }
+            horizon = 3 * synchronous_busy_period(tasks) + 3 * max(
+                t.period for t in tasks
+            )
+            jobs = []
+            for t in tasks:
+                release = 0.0
+                while release < horizon:
+                    jobs.append(
+                        SequentialJob(t.name, release, release + t.deadline, t.wcet)
+                    )
+                    release += t.period
+            trace = Trace()
+            simulate_uniprocessor_edf(jobs, trace, 0)
+            for t in tasks:
+                assert trace.stats[t.name].max_response <= wcrts[t.name] + 1e-6
+
+    def test_synchronous_release_attains_bound_often(self):
+        # For the classic pair the synchronous pattern realises the WCRT.
+        tasks = [SporadicTask(2, 4, 10, "a"), SporadicTask(3, 9, 10, "b")]
+        jobs = [
+            SequentialJob("a", 0, 4, 2),
+            SequentialJob("b", 0, 9, 3),
+        ]
+        trace = Trace()
+        simulate_uniprocessor_edf(jobs, trace, 0)
+        assert trace.stats["b"].max_response == pytest.approx(5)
+
+
+class TestDeploymentBounds:
+    def test_bounds_for_mixed_system(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        bounds = deployment_response_bounds(deployment)
+        assert set(bounds) == {t.name for t in mixed_system}
+        for task in mixed_system:
+            assert bounds[task.name] <= task.deadline + 1e-9
+
+    def test_high_density_bound_is_makespan(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        bounds = deployment_response_bounds(deployment)
+        alloc = deployment.allocations[0]
+        assert bounds[alloc.task.name] == alloc.schedule.makespan
+
+    def test_simulated_responses_within_bounds(self, mixed_system):
+        from repro.sim.executor import simulate_deployment
+
+        deployment = fedcons(mixed_system, 4)
+        bounds = deployment_response_bounds(deployment)
+        report = simulate_deployment(deployment, 500, rng=3)
+        for name, stats in report.stats.items():
+            assert stats.max_response <= bounds[name] + 1e-6
+
+    def test_requires_success(self):
+        from repro.model.dag import DAG
+        from repro.model.task import SporadicDAGTask
+
+        bad = fedcons(
+            TaskSystem([SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")]), 2
+        )
+        with pytest.raises(AnalysisError, match="successful"):
+            deployment_response_bounds(bad)

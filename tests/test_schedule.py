@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.schedule (template schedules)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.core.schedule import Schedule, Slot
+from repro.model.dag import DAG
+
+
+def _slots_for_chain():
+    return [
+        Slot(start=0, end=2, processor=0, vertex=0),
+        Slot(start=2, end=5, processor=0, vertex=1),
+        Slot(start=5, end=6, processor=0, vertex=2),
+    ]
+
+
+class TestSlot:
+    def test_length(self):
+        assert Slot(1, 3, 0, "v").length == 2
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ScheduleError, match="non-positive"):
+            Slot(1, 1, 0, "v")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ScheduleError, match="before time 0"):
+            Slot(-1, 1, 0, "v")
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(ScheduleError, match="negative processor"):
+            Slot(0, 1, -1, "v")
+
+    def test_ordering_by_start(self):
+        assert Slot(0, 1, 0, "a") < Slot(2, 3, 0, "b")
+
+
+class TestScheduleConstruction:
+    def test_valid_chain(self, chain_dag):
+        schedule = Schedule(chain_dag, _slots_for_chain(), processors=1)
+        assert schedule.makespan == 6
+        schedule.validate()
+
+    def test_missing_vertex_rejected(self, chain_dag):
+        with pytest.raises(ScheduleError, match="never scheduled"):
+            Schedule(chain_dag, _slots_for_chain()[:2], processors=1)
+
+    def test_duplicate_vertex_rejected(self, chain_dag):
+        slots = _slots_for_chain() + [Slot(6, 8, 0, 0)]
+        with pytest.raises(ScheduleError, match="twice"):
+            Schedule(chain_dag, slots, processors=1)
+
+    def test_unknown_vertex_rejected(self, chain_dag):
+        slots = _slots_for_chain() + [Slot(6, 7, 0, 99)]
+        with pytest.raises(ScheduleError, match="unknown vertex"):
+            Schedule(chain_dag, slots, processors=1)
+
+    def test_processor_out_of_range(self, chain_dag):
+        slots = _slots_for_chain()
+        slots[0] = Slot(0, 2, 1, 0)
+        with pytest.raises(ScheduleError, match="processor 1"):
+            Schedule(chain_dag, slots, processors=1)
+
+    def test_zero_processors_rejected(self, chain_dag):
+        with pytest.raises(ScheduleError, match=">= 1"):
+            Schedule(chain_dag, _slots_for_chain(), processors=0)
+
+
+class TestValidation:
+    def test_wrong_length_detected(self, chain_dag):
+        slots = [
+            Slot(0, 3, 0, 0),  # WCET is 2, slot is 3
+            Slot(3, 6, 0, 1),
+            Slot(6, 7, 0, 2),
+        ]
+        schedule = Schedule(chain_dag, slots, processors=1)
+        with pytest.raises(ScheduleError, match="length"):
+            schedule.validate()
+        assert not schedule.is_valid()
+
+    def test_overlap_detected(self):
+        dag = DAG.independent([2, 2])
+        slots = [Slot(0, 2, 0, 0), Slot(1, 3, 0, 1)]
+        schedule = Schedule(dag, slots, processors=1)
+        with pytest.raises(ScheduleError, match="overlap"):
+            schedule.validate()
+
+    def test_precedence_violation_detected(self, chain_dag):
+        slots = [
+            Slot(0, 2, 0, 0),
+            Slot(1, 4, 1, 1),  # starts before predecessor 0 finishes? no: 1 < 2
+            Slot(4, 5, 0, 2),
+        ]
+        schedule = Schedule(chain_dag, slots, processors=2)
+        with pytest.raises(ScheduleError, match="precedence"):
+            schedule.validate()
+
+    def test_parallel_on_different_processors_ok(self):
+        dag = DAG.independent([2, 2])
+        slots = [Slot(0, 2, 0, 0), Slot(0, 2, 1, 1)]
+        Schedule(dag, slots, processors=2).validate()
+
+
+class TestMetrics:
+    def test_makespan(self, chain_dag):
+        assert Schedule(chain_dag, _slots_for_chain(), 1).makespan == 6
+
+    def test_meets_deadline(self, chain_dag):
+        schedule = Schedule(chain_dag, _slots_for_chain(), 1)
+        assert schedule.meets_deadline(6)
+        assert schedule.meets_deadline(7)
+        assert not schedule.meets_deadline(5.9)
+
+    def test_total_idle_time(self):
+        dag = DAG.independent([2, 1])
+        slots = [Slot(0, 2, 0, 0), Slot(0, 1, 1, 1)]
+        schedule = Schedule(dag, slots, processors=2)
+        assert schedule.total_idle_time == pytest.approx(1.0)
+
+    def test_average_utilization(self):
+        dag = DAG.independent([2, 2])
+        slots = [Slot(0, 2, 0, 0), Slot(0, 2, 1, 1)]
+        assert Schedule(dag, slots, 2).average_utilization == pytest.approx(1.0)
+
+    def test_slots_sorted(self, chain_dag):
+        schedule = Schedule(chain_dag, reversed(_slots_for_chain()), 1)
+        starts = [s.start for s in schedule.slots]
+        assert starts == sorted(starts)
+
+    def test_slots_on_processor(self):
+        dag = DAG.independent([1, 1])
+        slots = [Slot(0, 1, 0, 0), Slot(0, 1, 1, 1)]
+        schedule = Schedule(dag, slots, 2)
+        assert len(schedule.slots_on(0)) == 1
+        assert schedule.slots_on(0)[0].vertex == 0
+
+    def test_slot_lookup_unknown(self, chain_dag):
+        schedule = Schedule(chain_dag, _slots_for_chain(), 1)
+        with pytest.raises(ScheduleError, match="not in schedule"):
+            schedule.slot(99)
+
+
+class TestPresentation:
+    def test_gantt_text_contains_processors(self, chain_dag):
+        schedule = Schedule(chain_dag, _slots_for_chain(), 1)
+        text = schedule.as_gantt_text(width=30)
+        assert "P0" in text
+
+    def test_shifted(self, chain_dag):
+        schedule = Schedule(chain_dag, _slots_for_chain(), 1)
+        shifted = schedule.shifted(10.0)
+        assert shifted[0].start == 10.0
+        assert shifted[2].end == 16.0
+
+    def test_repr(self, chain_dag):
+        schedule = Schedule(chain_dag, _slots_for_chain(), 1)
+        assert "makespan=6" in repr(schedule)

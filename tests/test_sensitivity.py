@@ -1,0 +1,128 @@
+"""Unit tests for repro.analysis.sensitivity."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.sensitivity import (
+    bottleneck_task,
+    minimum_platform,
+    system_scaling_slack,
+    task_scaling_slack,
+)
+from repro.core.fedcons import fedcons
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+
+def _t(w, d, t, name):
+    return SporadicDAGTask(DAG.single_vertex(w), d, t, name=name)
+
+
+@pytest.fixture
+def tight_system():
+    """Two tasks that exactly fill two processors."""
+    return TaskSystem([_t(10, 10, 10, "a"), _t(10, 10, 10, "b")])
+
+
+@pytest.fixture
+def loose_system():
+    return TaskSystem([_t(1, 10, 10, "a"), _t(2, 20, 20, "b")])
+
+
+class TestMinimumPlatform:
+    def test_single_light_task(self, loose_system):
+        assert minimum_platform(loose_system) == 1
+
+    def test_exact_fit(self, tight_system):
+        assert minimum_platform(tight_system) == 2
+
+    def test_high_density_cluster(self, high_density_task):
+        system = TaskSystem([high_density_task])
+        assert minimum_platform(system) == 2
+
+    def test_infeasible_returns_none(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")]
+        )
+        assert minimum_platform(system, max_processors=64) is None
+
+    def test_result_is_minimal(self, mixed_system):
+        m = minimum_platform(mixed_system)
+        assert fedcons(mixed_system, m).success
+        if m > 1:
+            assert not fedcons(mixed_system, m - 1).success
+
+    def test_invalid_cap(self, loose_system):
+        with pytest.raises(AnalysisError):
+            minimum_platform(loose_system, max_processors=0)
+
+
+class TestTaskScalingSlack:
+    def test_tight_task_has_no_slack(self, tight_system):
+        slack = task_scaling_slack(tight_system, 2, 0)
+        assert slack == pytest.approx(1.0, abs=2e-3)
+
+    def test_loose_task_has_slack(self, loose_system):
+        slack = task_scaling_slack(loose_system, 1, 0)
+        assert slack > 2.0
+
+    def test_slack_is_safe(self, mixed_system):
+        for i in range(len(mixed_system)):
+            slack = task_scaling_slack(mixed_system, 4, i, tolerance=1e-2)
+            if math.isinf(slack):
+                continue
+            # Consuming 99% of the reported slack keeps the system admitted.
+            from repro.analysis.sensitivity import _with_task_scaled
+
+            grown = _with_task_scaled(mixed_system, i, slack * 0.99)
+            assert fedcons(grown, 4).success
+
+    def test_requires_admitted_system(self, tight_system):
+        with pytest.raises(AnalysisError, match="admitted"):
+            task_scaling_slack(tight_system, 1, 0)
+
+    def test_index_out_of_range(self, loose_system):
+        with pytest.raises(AnalysisError, match="out of range"):
+            task_scaling_slack(loose_system, 1, 5)
+
+    def test_unbounded_slack_reported_inf(self):
+        # A tiny task on a huge platform: growth to max_factor never fails.
+        system = TaskSystem([_t(0.001, 1000, 1000, "tiny")])
+        slack = task_scaling_slack(system, 4, 0, max_factor=64.0)
+        assert math.isinf(slack)
+
+
+class TestSystemScalingSlack:
+    def test_tight_system_no_slack(self, tight_system):
+        assert system_scaling_slack(tight_system, 2) == pytest.approx(
+            1.0, abs=5e-3
+        )
+
+    def test_half_loaded_system(self):
+        system = TaskSystem([_t(5, 10, 10, "a")])
+        assert system_scaling_slack(system, 1) == pytest.approx(2.0, rel=1e-2)
+
+    def test_reciprocal_of_min_speed(self, mixed_system):
+        from repro.analysis.speedup import minimum_fedcons_speed
+
+        slack = system_scaling_slack(mixed_system, 4, tolerance=1e-3)
+        speed = minimum_fedcons_speed(mixed_system, 4, tolerance=1e-3)
+        assert slack == pytest.approx(1.0 / speed, rel=1e-2)
+
+
+class TestBottleneck:
+    def test_identifies_tightest(self):
+        system = TaskSystem([_t(8, 10, 10, "big"), _t(1, 10, 10, "small")])
+        report = bottleneck_task(system, 1)
+        assert report.bottleneck == "big"
+        assert report.slacks["small"] >= report.slacks["big"]
+
+    def test_describe(self, mixed_system):
+        report = bottleneck_task(mixed_system, 4, tolerance=0.05)
+        text = report.describe()
+        assert "bottleneck" in text
+        for task in mixed_system:
+            assert task.name in text

@@ -1,0 +1,101 @@
+"""Unit tests for repro.sim.cluster (template replay)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.fedcons import fedcons
+from repro.model.taskset import TaskSystem
+from repro.sim.cluster import simulate_cluster
+from repro.sim.trace import Trace
+from repro.sim.workload import (
+    DagJobInstance,
+    ExecutionTimeModel,
+    generate_dag_jobs,
+)
+
+
+@pytest.fixture
+def allocation(high_density_task):
+    result = fedcons(TaskSystem([high_density_task]), 2)
+    assert result.success
+    return result.allocations[0]
+
+
+class TestReplay:
+    def test_wcet_replay_completes_at_makespan(self, allocation, rng):
+        task = allocation.task
+        jobs = list(generate_dag_jobs(task, 50, rng))
+        trace = Trace(record_executions=True)
+        simulate_cluster(allocation, jobs, trace)
+        stats = trace.stats[task.name]
+        assert stats.completed == len(jobs)
+        assert stats.missed == 0
+        assert stats.max_response == pytest.approx(allocation.schedule.makespan)
+
+    def test_early_completion_only_helps(self, allocation, rng):
+        task = allocation.task
+        jobs = list(
+            generate_dag_jobs(
+                task,
+                100,
+                rng,
+                exec_model=ExecutionTimeModel.UNIFORM_FRACTION,
+                fraction_range=(0.4, 0.8),
+            )
+        )
+        trace = Trace()
+        simulate_cluster(allocation, jobs, trace)
+        stats = trace.stats[task.name]
+        assert stats.missed == 0
+        assert stats.max_response <= allocation.schedule.makespan + 1e-9
+
+    def test_physical_processor_indices_used(self, high_density_task, rng):
+        # Give the allocation physical processors 3 and 4, not 0 and 1.
+        from repro.core.fedcons import HighDensityAllocation
+        from repro.core.minprocs import minprocs
+
+        result = minprocs(high_density_task, 2)
+        allocation = HighDensityAllocation(
+            task=high_density_task,
+            processors=(3, 4),
+            schedule=result.schedule,
+            minprocs_attempts=result.attempts,
+        )
+        jobs = list(generate_dag_jobs(high_density_task, 20, rng))
+        trace = Trace(record_executions=True)
+        simulate_cluster(allocation, jobs, trace)
+        assert {e.processor for e in trace.executions} <= {3, 4}
+
+    def test_foreign_task_rejected(self, allocation, low_density_task, rng):
+        jobs = list(generate_dag_jobs(low_density_task, 20, rng))
+        with pytest.raises(SimulationError, match="dag-job of"):
+            simulate_cluster(allocation, jobs, Trace())
+
+    def test_overrunning_execution_time_rejected(self, allocation):
+        task = allocation.task
+        bad = DagJobInstance(
+            task=task,
+            release=0.0,
+            execution_times={v: task.dag.wcet(v) * 2 for v in task.dag.vertices},
+        )
+        with pytest.raises(SimulationError, match="exceeds WCET"):
+            simulate_cluster(allocation, [bad], Trace())
+
+    def test_overlapping_releases_rejected(self, allocation):
+        task = allocation.task
+        wcets = dict(task.dag.wcets)
+        jobs = [
+            DagJobInstance(task=task, release=0.0, execution_times=wcets),
+            DagJobInstance(task=task, release=1.0, execution_times=wcets),
+        ]
+        with pytest.raises(SimulationError, match="still occupies"):
+            simulate_cluster(allocation, jobs, Trace())
+
+    def test_jobs_processed_in_release_order(self, allocation, rng):
+        task = allocation.task
+        jobs = list(generate_dag_jobs(task, 60, rng))
+        trace = Trace(record_executions=True)
+        # Deliberately shuffled input.
+        simulate_cluster(allocation, list(reversed(jobs)), trace)
+        assert trace.stats[task.name].completed == len(jobs)

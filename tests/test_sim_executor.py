@@ -1,0 +1,179 @@
+"""Unit tests for repro.sim.executor and repro.sim.trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.fedcons import fedcons
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+from repro.sim.executor import simulate_deployment
+from repro.sim.trace import ExecutionRecord, Trace
+from repro.sim.workload import ExecutionTimeModel, ReleasePattern
+
+
+class TestTrace:
+    def test_records_optional(self):
+        trace = Trace(record_executions=False)
+        trace.record(ExecutionRecord(0, 1, 0, "a"))
+        assert not trace.executions
+
+    def test_records_kept_when_enabled(self):
+        trace = Trace(record_executions=True)
+        trace.record(ExecutionRecord(0, 1, 0, "a"))
+        assert len(trace.executions) == 1
+
+    def test_zero_length_record_rejected(self):
+        with pytest.raises(SimulationError):
+            ExecutionRecord(1, 1, 0, "a")
+
+    def test_stats_aggregation(self):
+        trace = Trace()
+        trace.job_released("a")
+        trace.job_completed("a", release=0, deadline=10, completion=4)
+        trace.job_released("a")
+        trace.job_completed("a", release=10, deadline=20, completion=18)
+        stats = trace.stats["a"]
+        assert stats.released == 2
+        assert stats.completed == 2
+        assert stats.max_response == 8
+        assert stats.average_response == 6
+        assert stats.missed == 0
+
+    def test_miss_recording(self):
+        trace = Trace()
+        trace.job_released("a")
+        trace.job_completed("a", release=0, deadline=5, completion=7)
+        report = trace.report(horizon=100)
+        assert not report.ok
+        assert report.deadline_misses[0].tardiness == pytest.approx(2.0)
+
+    def test_report_describe(self):
+        trace = Trace()
+        trace.job_released("a")
+        trace.job_completed("a", 0, 10, 5)
+        text = trace.report(50).describe()
+        assert "OK" in text and "a" in text
+
+
+class TestSimulateDeployment:
+    def test_rejected_deployment_raises(self):
+        bad = SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="x")
+        result = fedcons(TaskSystem([bad]), 2)
+        with pytest.raises(SimulationError, match="rejected deployment"):
+            simulate_deployment(result, horizon=10)
+
+    def test_bad_horizon_rejected(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        with pytest.raises(SimulationError, match="horizon"):
+            simulate_deployment(result, horizon=0)
+
+    def test_mixed_system_runs_clean(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        report = simulate_deployment(result, horizon=200, rng=1)
+        assert report.ok
+        assert report.total_released > 0
+        assert set(report.stats) == {t.name for t in mixed_system}
+
+    def test_seed_reproducibility(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        a = simulate_deployment(
+            result, 200, rng=5, pattern=ReleasePattern.UNIFORM
+        )
+        b = simulate_deployment(
+            result, 200, rng=5, pattern=ReleasePattern.UNIFORM
+        )
+        assert a.total_released == b.total_released
+        assert {n: s.max_response for n, s in a.stats.items()} == {
+            n: s.max_response for n, s in b.stats.items()
+        }
+
+    def test_trace_recording(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        report = simulate_deployment(result, 100, rng=2, record_trace=True)
+        assert report.executions
+        # Every record's processor must be a real platform processor.
+        assert all(0 <= e.processor < 4 for e in report.executions)
+
+    def test_shared_and_dedicated_disjoint_in_trace(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        report = simulate_deployment(result, 100, rng=2, record_trace=True)
+        dedicated = {
+            p for alloc in result.allocations for p in alloc.processors
+        }
+        for record in report.executions:
+            if record.task == "high":
+                assert record.processor in dedicated
+            else:
+                assert record.processor not in dedicated
+
+    @pytest.mark.parametrize("pattern", list(ReleasePattern))
+    @pytest.mark.parametrize("model", list(ExecutionTimeModel))
+    def test_accepted_systems_never_miss(self, pattern, model, rng):
+        cfg = SystemConfig(tasks=6, processors=4, normalized_utilization=0.45,
+                           max_vertices=12)
+        found = 0
+        while found < 3:
+            system = generate_system(cfg, rng)
+            result = fedcons(system, 4)
+            if not result.success:
+                continue
+            found += 1
+            horizon = 3 * max(t.period for t in system)
+            report = simulate_deployment(
+                result,
+                horizon,
+                rng=np.random.default_rng(found),
+                pattern=pattern,
+                exec_model=model,
+            )
+            assert report.ok, f"missed deadlines under {pattern}/{model}"
+
+
+class TestDmPoolSimulation:
+    def test_dm_deployment_runs_clean(self, rng):
+        from repro.extensions.fixed_priority_pool import fedcons_fp
+        from repro.generation.tasksets import SystemConfig, generate_system
+        from repro.sim.workload import ReleasePattern
+
+        cfg = SystemConfig(tasks=8, processors=4, normalized_utilization=0.45,
+                           min_vertices=5, max_vertices=12)
+        found = 0
+        while found < 5:
+            system = generate_system(cfg, rng)
+            deployment = fedcons_fp(system, 4)
+            if not deployment.success:
+                continue
+            found += 1
+            report = simulate_deployment(
+                deployment,
+                horizon=4 * max(t.period for t in system),
+                rng=found,
+                pattern=ReleasePattern.UNIFORM,
+                pool_policy="dm",
+            )
+            assert report.ok
+
+    def test_invalid_policy_rejected(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        with pytest.raises(SimulationError, match="pool_policy"):
+            simulate_deployment(result, 100, rng=0, pool_policy="rm")
+
+    def test_overhead_unsupported_for_dm(self, mixed_system):
+        result = fedcons(mixed_system, 4)
+        with pytest.raises(SimulationError, match="EDF pool"):
+            simulate_deployment(
+                result, 100, rng=0, pool_policy="dm", preemption_overhead=0.1
+            )
+
+    def test_edf_pool_for_dm_deployment_also_clean(self, mixed_system):
+        # EDF dominates DM per processor: an FP-certified bucket also runs
+        # clean under EDF dispatch.
+        from repro.extensions.fixed_priority_pool import fedcons_fp
+
+        deployment = fedcons_fp(mixed_system, 4)
+        assert deployment.success
+        report = simulate_deployment(deployment, 200, rng=1, pool_policy="edf")
+        assert report.ok

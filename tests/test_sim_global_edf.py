@@ -1,0 +1,103 @@
+"""Unit tests for repro.sim.global_edf."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+from repro.sim.global_edf import simulate_global_edf
+from repro.sim.trace import Trace
+from repro.sim.workload import DagJobInstance, generate_dag_jobs
+
+
+def _jobs(system, horizon, seed=0):
+    rng = np.random.default_rng(seed)
+    return [j for t in system for j in generate_dag_jobs(t, horizon, rng)]
+
+
+class TestBasics:
+    def test_single_task_single_processor(self):
+        task = SporadicDAGTask(DAG.chain([1, 1]), 5, 10, name="a")
+        system = TaskSystem([task])
+        trace = Trace(record_executions=True)
+        simulate_global_edf(system, 1, _jobs(system, 30), trace)
+        assert trace.stats["a"].completed == 3
+        assert not trace.misses
+
+    def test_parallel_execution_across_processors(self):
+        task = SporadicDAGTask(DAG.independent([2, 2]), 2, 10, name="a")
+        system = TaskSystem([task])
+        trace = Trace(record_executions=True)
+        simulate_global_edf(system, 2, _jobs(system, 10), trace)
+        assert not trace.misses
+        assert trace.stats["a"].max_response == pytest.approx(2.0)
+
+    def test_sequentialised_when_single_processor(self):
+        task = SporadicDAGTask(DAG.independent([2, 2]), 3, 10, name="a")
+        system = TaskSystem([task])
+        trace = Trace()
+        simulate_global_edf(system, 1, _jobs(system, 10), trace)
+        assert trace.misses  # 4 units of work in a 3-unit window
+
+    def test_edf_priority_between_tasks(self):
+        urgent = SporadicDAGTask(DAG.single_vertex(1), 2, 100, name="urgent")
+        lazy = SporadicDAGTask(DAG.single_vertex(5), 50, 100, name="lazy")
+        system = TaskSystem([lazy, urgent])
+        trace = Trace(record_executions=True)
+        simulate_global_edf(system, 1, _jobs(system, 50), trace)
+        first = sorted(trace.executions)[0]
+        assert first.task == "urgent"
+        assert not trace.misses
+
+    def test_unknown_task_rejected(self, fig1_task):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.single_vertex(1), 5, 10, name="known")]
+        )
+        alien = DagJobInstance(fig1_task, 0.0, dict(fig1_task.dag.wcets))
+        with pytest.raises(SimulationError, match="unknown task"):
+            simulate_global_edf(system, 1, [alien], Trace())
+
+    def test_invalid_processor_count(self, mixed_system):
+        with pytest.raises(SimulationError):
+            simulate_global_edf(mixed_system, 0, [], Trace())
+
+
+class TestPrecedence:
+    def test_chain_executes_in_order(self):
+        task = SporadicDAGTask(DAG.chain([1, 1, 1]), 5, 10, name="c")
+        system = TaskSystem([task])
+        trace = Trace(record_executions=True)
+        simulate_global_edf(system, 3, _jobs(system, 10), trace)
+        segs = sorted(trace.executions)
+        order = [s.vertex for s in segs]
+        assert order == [0, 1, 2]
+
+    def test_diamond_join_waits_for_both_branches(self, diamond_dag):
+        task = SporadicDAGTask(diamond_dag, 10, 20, name="d")
+        system = TaskSystem([task])
+        trace = Trace(record_executions=True)
+        simulate_global_edf(system, 2, _jobs(system, 10), trace)
+        finish = {}
+        for seg in trace.executions:
+            finish[seg.vertex] = max(finish.get(seg.vertex, 0), seg.end)
+        start3 = min(s.start for s in trace.executions if s.vertex == 3)
+        assert start3 >= finish[1] - 1e-9 and start3 >= finish[2] - 1e-9
+
+    def test_response_matches_ls_bound_single_task(self, rng):
+        from repro.core.list_scheduling import graham_makespan_bound
+        from repro.generation.dag_generators import erdos_renyi_dag
+
+        # A single DAG task alone under global EDF behaves like greedy
+        # scheduling: response <= Graham bound.
+        for _ in range(5):
+            dag = erdos_renyi_dag(10, 0.3, rng)
+            period = dag.volume * 2
+            task = SporadicDAGTask(dag, period, period, name="x")
+            system = TaskSystem([task])
+            trace = Trace()
+            simulate_global_edf(system, 3, _jobs(system, period * 3), trace)
+            assert trace.stats["x"].max_response <= graham_makespan_bound(
+                dag, 3
+            ) + 1e-9

@@ -1,0 +1,141 @@
+"""Unit tests for repro.sim.metrics and the preemption-overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.fedcons import fedcons
+from repro.model.taskset import TaskSystem
+from repro.sim.executor import simulate_deployment
+from repro.sim.metrics import compute_metrics
+from repro.sim.trace import Trace
+from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+
+
+def _job(task, release, deadline, exec_time):
+    return SequentialJob(
+        task=task,
+        release=release,
+        absolute_deadline=deadline,
+        execution_time=exec_time,
+    )
+
+
+def _run(jobs, overhead=0.0):
+    trace = Trace(record_executions=True)
+    simulate_uniprocessor_edf(
+        jobs, trace, processor=0, preemption_overhead=overhead
+    )
+    return trace
+
+
+class TestMetrics:
+    def test_requires_records(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        report = simulate_deployment(deployment, 100, rng=0)
+        with pytest.raises(SimulationError, match="record_trace"):
+            compute_metrics(report)
+
+    def test_utilization_per_processor(self):
+        trace = _run([_job("a", 0, 10, 4)])
+        metrics = compute_metrics(trace.report(horizon=10))
+        assert metrics.processor_utilization[0] == pytest.approx(0.4)
+        assert metrics.busy_time == pytest.approx(4.0)
+
+    def test_preemption_counted(self):
+        trace = _run([_job("long", 0, 100, 10), _job("urgent", 2, 5, 1)])
+        metrics = compute_metrics(trace.report(100))
+        assert metrics.preemptions["long"] == 1
+        assert metrics.preemptions.get("urgent", 0) == 0
+
+    def test_job_boundary_not_a_preemption(self):
+        # Two jobs of the same task back-to-back with an idle gap between.
+        trace = _run([_job("a", 0, 5, 1), _job("a", 10, 15, 1)])
+        metrics = compute_metrics(trace.report(20))
+        assert metrics.preemptions.get("a", 0) == 0
+
+    def test_segment_split_at_release_not_a_preemption(self):
+        # "later" has a later deadline: no preemption, just a record split.
+        trace = _run([_job("short", 0, 3, 2), _job("later", 1, 50, 1)])
+        metrics = compute_metrics(trace.report(10))
+        assert metrics.total_preemptions == 0
+
+    def test_federated_deployment_is_migration_free(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        report = simulate_deployment(
+            deployment, 200, rng=1, record_trace=True
+        )
+        metrics = compute_metrics(report)
+        assert metrics.total_migrations == 0
+
+    def test_global_edf_can_migrate(self, rng):
+        from repro.model.dag import DAG
+        from repro.model.task import SporadicDAGTask
+        from repro.sim.global_edf import simulate_global_edf
+        from repro.sim.workload import generate_dag_jobs
+
+        # A wide task whose vertices spread over both processors.
+        task = SporadicDAGTask(
+            DAG.independent([3, 3, 3]), deadline=6, period=10, name="wide"
+        )
+        system = TaskSystem([task])
+        jobs = [j for j in generate_dag_jobs(task, 30, rng)]
+        trace = Trace(record_executions=True)
+        simulate_global_edf(system, 2, jobs, trace)
+        metrics = compute_metrics(trace.report(30))
+        # Not asserting >0 (depends on tie-breaks); just that it computes.
+        assert metrics.total_migrations >= 0
+
+    def test_describe(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        report = simulate_deployment(deployment, 100, rng=1, record_trace=True)
+        text = compute_metrics(report).describe()
+        assert "per-processor utilization" in text
+
+
+class TestPreemptionOverhead:
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError, match=">= 0"):
+            _run([_job("a", 0, 5, 1)], overhead=-0.1)
+
+    def test_zero_overhead_unchanged(self):
+        base = _run([_job("long", 0, 100, 10), _job("urgent", 2, 5, 1)])
+        zero = _run(
+            [_job("long", 0, 100, 10), _job("urgent", 2, 5, 1)], overhead=0.0
+        )
+        assert base.stats["long"].max_response == zero.stats["long"].max_response
+
+    def test_overhead_charged_on_resume(self):
+        jobs = [_job("long", 0, 100, 10), _job("urgent", 2, 5, 1)]
+        base = _run(jobs)
+        loaded = _run(jobs, overhead=0.5)
+        assert loaded.stats["long"].max_response == pytest.approx(
+            base.stats["long"].max_response + 0.5
+        )
+        # The preempting job pays nothing.
+        assert loaded.stats["urgent"].max_response == pytest.approx(
+            base.stats["urgent"].max_response
+        )
+
+    def test_no_overhead_without_preemption(self):
+        jobs = [_job("a", 0, 10, 2), _job("b", 5, 20, 2)]
+        base = _run(jobs)
+        loaded = _run(jobs, overhead=1.0)
+        for name in ("a", "b"):
+            assert loaded.stats[name].max_response == pytest.approx(
+                base.stats[name].max_response
+            )
+
+    def test_overhead_can_cause_miss(self):
+        # Tight job that only fits without resume cost.
+        jobs = [_job("victim", 0, 4.2, 3), _job("urgent", 1, 3, 1)]
+        assert not _run(jobs, overhead=0.0).misses
+        assert _run(jobs, overhead=0.5).misses
+
+    def test_deployment_level_plumbing(self, mixed_system):
+        deployment = fedcons(mixed_system, 4)
+        report = simulate_deployment(
+            deployment, 200, rng=0, preemption_overhead=0.01
+        )
+        # Tiny overhead on a lightly loaded pool: still clean.
+        assert report.ok

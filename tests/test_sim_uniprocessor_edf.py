@@ -1,0 +1,144 @@
+"""Unit tests for repro.sim.uniprocessor_edf (exact preemptive EDF)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.dbf import edf_exact_test
+from repro.model.sporadic import SporadicTask
+from repro.sim.trace import Trace
+from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
+
+
+def _job(task, release, deadline, exec_time):
+    return SequentialJob(
+        task=task,
+        release=release,
+        absolute_deadline=deadline,
+        execution_time=exec_time,
+    )
+
+
+def _run(jobs, record=True):
+    trace = Trace(record_executions=record)
+    simulate_uniprocessor_edf(jobs, trace, processor=0)
+    return trace
+
+
+class TestValidation:
+    def test_negative_execution_rejected(self):
+        with pytest.raises(SimulationError):
+            _job("a", 0, 5, -1)
+
+    def test_deadline_before_release_rejected(self):
+        with pytest.raises(SimulationError):
+            _job("a", 5, 4, 1)
+
+
+class TestSingleJob:
+    def test_runs_to_completion(self):
+        trace = _run([_job("a", 0, 10, 3)])
+        assert trace.stats["a"].completed == 1
+        assert trace.stats["a"].max_response == 3
+
+    def test_release_offset(self):
+        trace = _run([_job("a", 5, 15, 3)])
+        assert trace.stats["a"].max_response == 3
+        assert trace.executions[0].start == 5
+
+    def test_miss_recorded(self):
+        trace = _run([_job("a", 0, 2, 3)])
+        assert trace.stats["a"].missed == 1
+        assert trace.misses[0].tardiness == pytest.approx(1.0)
+
+    def test_zero_execution_completes_instantly(self):
+        trace = _run([_job("a", 1, 2, 0)])
+        assert trace.stats["a"].completed == 1
+        assert trace.stats["a"].max_response == 0
+
+
+class TestEdfOrdering:
+    def test_earliest_deadline_runs_first(self):
+        trace = _run(
+            [_job("late", 0, 20, 2), _job("early", 0, 5, 2)]
+        )
+        first = trace.executions[0]
+        assert first.task == "early"
+
+    def test_preemption_on_earlier_deadline_arrival(self):
+        trace = _run(
+            [_job("long", 0, 100, 10), _job("urgent", 2, 5, 1)]
+        )
+        urgent_segments = [e for e in trace.executions if e.task == "urgent"]
+        assert urgent_segments[0].start == pytest.approx(2.0)
+        # long is split around the preemption
+        long_segments = [e for e in trace.executions if e.task == "long"]
+        assert len(long_segments) == 2
+
+    def test_no_preemption_for_later_deadline(self):
+        trace = _run(
+            [_job("short", 0, 3, 2), _job("later", 1, 50, 1)]
+        )
+        # "short" keeps the processor through the release of "later"
+        # (segments may be split at the release event, but stay contiguous).
+        short_segments = [e for e in trace.executions if e.task == "short"]
+        assert short_segments[0].start == pytest.approx(0.0)
+        assert short_segments[-1].end == pytest.approx(2.0)
+        later = [e for e in trace.executions if e.task == "later"]
+        assert later[0].start == pytest.approx(2.0)
+
+    def test_work_conserving_idle_only_when_empty(self):
+        trace = _run([_job("a", 0, 5, 1), _job("b", 10, 15, 1)])
+        assert trace.executions[0].end == pytest.approx(1.0)
+        assert trace.executions[1].start == pytest.approx(10.0)
+
+    def test_ties_broken_deterministically(self):
+        jobs = [_job("a", 0, 5, 1), _job("b", 0, 5, 1)]
+        t1 = _run(jobs)
+        t2 = _run(jobs)
+        assert [e.task for e in t1.executions] == [e.task for e in t2.executions]
+
+
+class TestAgainstAnalysis:
+    def test_edf_optimality_on_schedulable_sets(self, rng):
+        """Synchronous-periodic simulation of exact-test-accepted sets never
+        misses (EDF is optimal on one processor)."""
+        for _ in range(25):
+            tasks = [
+                SporadicTask(
+                    wcet=float(rng.uniform(0.2, 2)),
+                    deadline=float(rng.uniform(2, 8)),
+                    period=float(rng.uniform(6, 16)),
+                    name=f"t{i}",
+                )
+                for i in range(4)
+            ]
+            if not edf_exact_test(tasks):
+                continue
+            horizon = 10 * max(t.period for t in tasks)
+            jobs = [
+                _job(t.name, r, r + t.deadline, t.wcet)
+                for t in tasks
+                for r in _arange(t.period, horizon)
+            ]
+            trace = _run(jobs, record=False)
+            assert not trace.misses
+
+    def test_overload_misses(self):
+        # Two simultaneous 2-unit jobs due at 2: EDF must miss one.
+        trace = _run([_job("a", 0, 2, 2), _job("b", 0, 2, 2)])
+        assert len(trace.misses) == 1
+
+    def test_demand_violation_detected_by_simulation(self):
+        tasks = [SporadicTask(2, 2, 10, "a"), SporadicTask(2, 2, 10, "b")]
+        assert not edf_exact_test(tasks)
+        jobs = [_job(t.name, 0, t.deadline, t.wcet) for t in tasks]
+        assert _run(jobs).misses
+
+
+def _arange(step, stop):
+    out = []
+    t = 0.0
+    while t < stop:
+        out.append(t)
+        t += step
+    return out

@@ -1,0 +1,125 @@
+"""Unit tests for repro.sim.uniprocessor_fp."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core.fixed_priority import deadline_monotonic, fp_exact_test
+from repro.model.sporadic import SporadicTask
+from repro.sim.trace import Trace
+from repro.sim.uniprocessor_fp import PrioritizedJob, simulate_uniprocessor_fp
+
+
+def _job(task, prio, release, deadline, exec_time):
+    return PrioritizedJob(
+        task=task,
+        priority=prio,
+        release=release,
+        absolute_deadline=deadline,
+        execution_time=exec_time,
+    )
+
+
+def _run(jobs, record=True):
+    trace = Trace(record_executions=record)
+    simulate_uniprocessor_fp(jobs, trace, processor=0)
+    return trace
+
+
+class TestValidation:
+    def test_negative_exec_rejected(self):
+        with pytest.raises(SimulationError):
+            _job("a", 0, 0, 5, -1)
+
+    def test_deadline_before_release_rejected(self):
+        with pytest.raises(SimulationError):
+            _job("a", 0, 5, 4, 1)
+
+
+class TestPolicy:
+    def test_priority_order_respected(self):
+        trace = _run([_job("low", 2, 0, 50, 2), _job("high", 1, 0, 50, 2)])
+        assert trace.executions[0].task == "high"
+
+    def test_preemption_by_higher_priority(self):
+        trace = _run([_job("low", 2, 0, 100, 10), _job("high", 1, 3, 10, 2)])
+        segments = [e for e in trace.executions if e.task == "high"]
+        assert segments[0].start == pytest.approx(3.0)
+        low_segments = [e for e in trace.executions if e.task == "low"]
+        assert len(low_segments) == 2
+
+    def test_no_preemption_by_lower_priority(self):
+        trace = _run([_job("high", 1, 0, 10, 5), _job("low", 2, 2, 100, 1)])
+        high = [e for e in trace.executions if e.task == "high"]
+        assert high[-1].end == pytest.approx(5.0)
+        low = [e for e in trace.executions if e.task == "low"]
+        assert low[0].start == pytest.approx(5.0)
+
+    def test_miss_recorded_and_execution_continues(self):
+        trace = _run([_job("a", 1, 0, 2, 3), _job("b", 2, 0, 10, 1)])
+        assert trace.stats["a"].missed == 1
+        assert trace.stats["b"].completed == 1
+
+    def test_idle_gap(self):
+        trace = _run([_job("a", 1, 0, 5, 1), _job("b", 1, 10, 15, 1)])
+        assert trace.executions[1].start == pytest.approx(10.0)
+
+
+class TestAgainstRta:
+    def test_rta_accepted_sets_never_miss(self, rng):
+        """Synchronous-periodic simulation of RTA-accepted DM sets is
+        miss-free (RTA's critical instant is the synchronous one)."""
+        checked = 0
+        while checked < 20:
+            candidates = []
+            for i in range(4):
+                period = float(rng.uniform(6, 16))
+                candidates.append(
+                    SporadicTask(
+                        wcet=float(rng.uniform(0.2, 2)),
+                        deadline=float(rng.uniform(2, period)),
+                        period=period,
+                        name=f"t{i}",
+                    )
+                )
+            tasks = deadline_monotonic(candidates)
+            if not fp_exact_test(tasks):
+                continue
+            checked += 1
+            horizon = 8 * max(t.period for t in tasks)
+            jobs = []
+            for prio, task in enumerate(tasks):
+                release = 0.0
+                while release < horizon:
+                    jobs.append(
+                        _job(task.name, prio, release,
+                             release + task.deadline, task.wcet)
+                    )
+                    release += task.period
+            trace = _run(jobs, record=False)
+            assert not trace.misses
+
+    def test_rta_response_matches_simulation_worst_case(self):
+        # Textbook set: simulated synchronous responses equal RTA exactly.
+        from repro.core.fixed_priority import response_time_analysis
+
+        tasks = [
+            SporadicTask(1, 4, 4, name="t0"),
+            SporadicTask(2, 6, 6, name="t1"),
+            SporadicTask(3, 10, 10, name="t2"),
+        ]
+        responses = response_time_analysis(tasks)
+        horizon = 60.0  # hyperperiod
+        jobs = []
+        for prio, task in enumerate(tasks):
+            release = 0.0
+            while release < horizon:
+                jobs.append(
+                    _job(task.name, prio, release, release + task.deadline,
+                         task.wcet)
+                )
+                release += task.period
+        trace = _run(jobs, record=False)
+        for task, analytic in zip(tasks, responses):
+            assert trace.stats[task.name].max_response == pytest.approx(
+                analytic
+            )

@@ -1,0 +1,104 @@
+"""Unit tests for repro.sim.workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.workload import (
+    DagJobInstance,
+    ExecutionTimeModel,
+    ReleasePattern,
+    generate_dag_jobs,
+    generate_releases,
+)
+
+
+class TestReleases:
+    def test_periodic(self, fig1_task, rng):
+        releases = generate_releases(fig1_task, 100, rng)
+        assert releases == [0, 20, 40, 60, 80]
+
+    def test_phase_offset(self, fig1_task, rng):
+        releases = generate_releases(fig1_task, 100, rng, phase=5)
+        assert releases[0] == 5
+
+    def test_respects_minimum_separation_uniform(self, fig1_task, rng):
+        releases = generate_releases(
+            fig1_task, 1000, rng, pattern=ReleasePattern.UNIFORM, jitter=0.5
+        )
+        gaps = np.diff(releases)
+        assert (gaps >= fig1_task.period - 1e-9).all()
+        assert (gaps <= 1.5 * fig1_task.period + 1e-9).all()
+
+    def test_respects_minimum_separation_poisson(self, fig1_task, rng):
+        releases = generate_releases(
+            fig1_task, 2000, rng, pattern=ReleasePattern.POISSON, jitter=0.3
+        )
+        gaps = np.diff(releases)
+        assert (gaps >= fig1_task.period - 1e-9).all()
+
+    def test_empty_when_horizon_zero(self, fig1_task, rng):
+        assert generate_releases(fig1_task, 0, rng) == []
+
+    def test_negative_horizon_rejected(self, fig1_task, rng):
+        with pytest.raises(SimulationError):
+            generate_releases(fig1_task, -1, rng)
+
+    def test_negative_jitter_rejected(self, fig1_task, rng):
+        with pytest.raises(SimulationError):
+            generate_releases(fig1_task, 10, rng, jitter=-0.1)
+
+    def test_deterministic_given_seed(self, fig1_task):
+        a = generate_releases(
+            fig1_task, 500, np.random.default_rng(3), pattern=ReleasePattern.UNIFORM
+        )
+        b = generate_releases(
+            fig1_task, 500, np.random.default_rng(3), pattern=ReleasePattern.UNIFORM
+        )
+        assert a == b
+
+
+class TestDagJobs:
+    def test_wcet_model(self, fig1_task, rng):
+        jobs = list(generate_dag_jobs(fig1_task, 50, rng))
+        for job in jobs:
+            assert job.execution_times == fig1_task.dag.wcets
+
+    def test_fraction_model_bounded(self, fig1_task, rng):
+        jobs = list(
+            generate_dag_jobs(
+                fig1_task,
+                200,
+                rng,
+                exec_model=ExecutionTimeModel.UNIFORM_FRACTION,
+                fraction_range=(0.3, 0.8),
+            )
+        )
+        for job in jobs:
+            for v, actual in job.execution_times.items():
+                wcet = fig1_task.dag.wcet(v)
+                assert 0.3 * wcet - 1e-12 <= actual <= 0.8 * wcet + 1e-12
+
+    def test_bad_fraction_range_rejected(self, fig1_task, rng):
+        with pytest.raises(SimulationError, match="fraction range"):
+            list(
+                generate_dag_jobs(
+                    fig1_task,
+                    50,
+                    rng,
+                    exec_model=ExecutionTimeModel.UNIFORM_FRACTION,
+                    fraction_range=(0.0, 1.5),
+                )
+            )
+
+    def test_absolute_deadline(self, fig1_task, rng):
+        job = next(iter(generate_dag_jobs(fig1_task, 50, rng)))
+        assert job.absolute_deadline == job.release + fig1_task.deadline
+
+    def test_total_execution(self, fig1_task, rng):
+        job = next(iter(generate_dag_jobs(fig1_task, 50, rng)))
+        assert job.total_execution == pytest.approx(fig1_task.volume)
+
+    def test_instance_dataclass(self, fig1_task):
+        job = DagJobInstance(fig1_task, 10.0, {"v": 1.0})
+        assert job.absolute_deadline == 26.0

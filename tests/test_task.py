@@ -1,0 +1,132 @@
+"""Unit tests for repro.model.task (sporadic DAG tasks)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+
+
+class TestValidation:
+    def test_requires_dag_instance(self):
+        with pytest.raises(ModelError, match="DAG instance"):
+            SporadicDAGTask(dag={"not": "a dag"}, deadline=1, period=1)
+
+    @pytest.mark.parametrize("field,value", [("deadline", 0), ("period", -1)])
+    def test_non_positive_parameters(self, field, value):
+        kwargs = {"dag": DAG.single_vertex(1), "deadline": 2.0, "period": 3.0}
+        kwargs[field] = value
+        with pytest.raises(ModelError, match="positive"):
+            SporadicDAGTask(**kwargs)
+
+    def test_name_excluded_from_equality(self):
+        a = SporadicDAGTask(DAG.single_vertex(1), 2, 3, name="a")
+        b = SporadicDAGTask(DAG.single_vertex(1), 2, 3, name="b")
+        assert a == b
+
+
+class TestPaperQuantities:
+    """Example 1 of the paper as ground truth."""
+
+    def test_fig1_volume(self, fig1_task):
+        assert fig1_task.volume == 9
+
+    def test_fig1_span(self, fig1_task):
+        assert fig1_task.span == 6
+
+    def test_fig1_density(self, fig1_task):
+        assert fig1_task.density == pytest.approx(9 / 16)
+
+    def test_fig1_utilization(self, fig1_task):
+        assert fig1_task.utilization == pytest.approx(9 / 20)
+
+    def test_fig1_low_density(self, fig1_task):
+        assert fig1_task.is_low_density
+        assert not fig1_task.is_high_density
+
+
+class TestClassification:
+    def test_high_density_boundary_inclusive(self):
+        # density exactly 1 counts as high (paper: "density >= 1").
+        task = SporadicDAGTask(DAG.single_vertex(4), deadline=4, period=8)
+        assert task.is_high_density
+
+    def test_high_utilization_boundary_inclusive(self):
+        task = SporadicDAGTask(DAG.single_vertex(8), deadline=8, period=8)
+        assert task.is_high_utilization
+
+    def test_density_uses_min_d_t(self):
+        task = SporadicDAGTask(DAG.single_vertex(3), deadline=10, period=6)
+        assert task.density == pytest.approx(0.5)
+
+    def test_implicit(self):
+        assert SporadicDAGTask(DAG.single_vertex(1), 5, 5).is_implicit_deadline
+
+    def test_constrained(self):
+        t = SporadicDAGTask(DAG.single_vertex(1), 4, 5)
+        assert t.is_constrained_deadline and not t.is_implicit_deadline
+
+    def test_arbitrary(self):
+        assert not SporadicDAGTask(DAG.single_vertex(1), 6, 5).is_constrained_deadline
+
+
+class TestDerived:
+    def test_structural_slack(self, fig1_task):
+        assert fig1_task.structural_slack == 10  # 16 - 6
+
+    def test_negative_slack_detectable(self):
+        task = SporadicDAGTask(DAG.chain([5, 5]), deadline=8, period=20)
+        assert task.structural_slack == -2
+        assert not task.is_feasible_on_unlimited_processors()
+
+    def test_to_sporadic(self, fig1_task):
+        s = fig1_task.to_sporadic()
+        assert s.wcet == fig1_task.volume
+        assert s.deadline == fig1_task.deadline
+        assert s.period == fig1_task.period
+        assert s.name == fig1_task.name
+
+    def test_scaled(self, fig1_task):
+        fast = fig1_task.scaled(3.0)
+        assert fast.volume == pytest.approx(3)
+        assert fast.deadline == 16
+        assert fast.utilization == pytest.approx(fig1_task.utilization / 3)
+
+    def test_with_deadline(self, fig1_task):
+        tight = fig1_task.with_deadline(7)
+        assert tight.deadline == 7
+        assert tight.dag is fig1_task.dag
+
+    def test_repr_contains_params(self, fig1_task):
+        text = repr(fig1_task)
+        assert "vol=9" in text and "D=16" in text
+
+
+class TestProcessorLowerBound:
+    def test_work_bound(self):
+        # vol 16, D 8 -> at least 2 processors.
+        task = SporadicDAGTask(DAG.independent([4] * 4), deadline=8, period=10)
+        assert task.minimum_processors_lower_bound() == 2
+
+    def test_one_when_light(self):
+        task = SporadicDAGTask(DAG.single_vertex(1), deadline=10, period=10)
+        assert task.minimum_processors_lower_bound() == 1
+
+    def test_infeasible_raises(self):
+        task = SporadicDAGTask(DAG.chain([5, 5]), deadline=8, period=20)
+        with pytest.raises(ModelError, match="infeasible"):
+            task.minimum_processors_lower_bound()
+
+    def test_parallel_chains_not_overcounted(self):
+        # Two chains of length 6, D = 6: an optimal scheduler needs exactly
+        # 2 processors; the bound must not exceed that.
+        dag = DAG(
+            {0: 3, 1: 3, 2: 3, 3: 3},
+            [(0, 1), (2, 3)],
+        )
+        task = SporadicDAGTask(dag, deadline=6, period=6)
+        assert task.minimum_processors_lower_bound() == 2
+
+    def test_exact_boundary(self):
+        task = SporadicDAGTask(DAG.independent([2, 2]), deadline=2, period=4)
+        assert task.minimum_processors_lower_bound() == 2

@@ -1,0 +1,133 @@
+"""Unit tests for repro.model.taskset."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import DeadlineModel, TaskSystem
+
+
+def _task(wcet, d, t, name=""):
+    return SporadicDAGTask(DAG.single_vertex(wcet), d, t, name=name)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            TaskSystem([])
+
+    def test_wrong_element_type(self):
+        with pytest.raises(ModelError, match="SporadicDAGTask"):
+            TaskSystem(["nope"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            TaskSystem([_task(1, 2, 3, "x"), _task(2, 3, 4, "x")])
+
+    def test_unnamed_tasks_allowed(self):
+        system = TaskSystem([_task(1, 2, 3), _task(2, 3, 4)])
+        assert len(system) == 2
+
+
+class TestSequenceProtocol:
+    def test_index_access(self, mixed_system):
+        assert mixed_system[0].name == "high"
+
+    def test_name_access(self, mixed_system):
+        assert mixed_system["low"].name == "low"
+
+    def test_unknown_name(self, mixed_system):
+        with pytest.raises(ModelError, match="no task named"):
+            mixed_system["ghost"]
+
+    def test_slice_returns_system(self, mixed_system):
+        sub = mixed_system[:2]
+        assert isinstance(sub, TaskSystem)
+        assert len(sub) == 2
+
+    def test_iteration_order(self, mixed_system):
+        assert [t.name for t in mixed_system] == ["high", "low", "seq"]
+
+    def test_equality_and_hash(self):
+        a = TaskSystem([_task(1, 2, 3)])
+        b = TaskSystem([_task(1, 2, 3)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAggregates:
+    def test_total_utilization(self):
+        system = TaskSystem([_task(1, 2, 4), _task(2, 3, 4)])
+        assert system.total_utilization == pytest.approx(0.25 + 0.5)
+
+    def test_total_density(self):
+        system = TaskSystem([_task(1, 2, 4), _task(2, 4, 4)])
+        assert system.total_density == pytest.approx(0.5 + 0.5)
+
+    def test_max_density(self, mixed_system):
+        assert mixed_system.max_density == pytest.approx(2.0)
+
+    def test_total_volume(self, mixed_system):
+        assert mixed_system.total_volume == pytest.approx(16 + 2 + 2)
+
+    def test_high_low_split_is_partition(self, mixed_system):
+        high = set(t.name for t in mixed_system.high_density_tasks)
+        low = set(t.name for t in mixed_system.low_density_tasks)
+        assert high == {"high"}
+        assert low == {"low", "seq"}
+        assert high | low == {t.name for t in mixed_system}
+
+    def test_utilization_split(self):
+        heavy = _task(10, 10, 10, "heavy")
+        light = _task(1, 10, 10, "light")
+        system = TaskSystem([heavy, light])
+        assert system.high_utilization_tasks == (heavy,)
+        assert system.low_utilization_tasks == (light,)
+
+
+class TestDeadlineModel:
+    def test_implicit(self):
+        system = TaskSystem([_task(1, 5, 5), _task(1, 7, 7)])
+        assert system.deadline_model is DeadlineModel.IMPLICIT
+
+    def test_constrained(self):
+        system = TaskSystem([_task(1, 4, 5), _task(1, 7, 7)])
+        assert system.deadline_model is DeadlineModel.CONSTRAINED
+
+    def test_arbitrary(self):
+        system = TaskSystem([_task(1, 9, 5)])
+        assert system.deadline_model is DeadlineModel.ARBITRARY
+
+    def test_validate_constrained_ok(self, mixed_system):
+        mixed_system.validate_constrained()
+
+    def test_validate_constrained_raises(self):
+        system = TaskSystem([_task(1, 9, 5, "bad")])
+        with pytest.raises(ModelError, match="bad"):
+            system.validate_constrained()
+
+
+class TestTransformations:
+    def test_scaled(self, mixed_system):
+        fast = mixed_system.scaled(2.0)
+        assert fast.total_utilization == pytest.approx(
+            mixed_system.total_utilization / 2
+        )
+
+    def test_structurally_feasible(self, mixed_system):
+        assert mixed_system.structurally_feasible()
+
+    def test_structurally_infeasible(self):
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.chain([5, 5]), deadline=8, period=20)]
+        )
+        assert not system.structurally_feasible()
+
+    def test_describe_contains_all_tasks(self, mixed_system):
+        text = mixed_system.describe()
+        for task in mixed_system:
+            assert task.name in text
+        assert "U_sum" in text
+
+    def test_repr(self, mixed_system):
+        assert "n=3" in repr(mixed_system)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.viz (SVG Gantt charts and DOT export)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.core.fedcons import fedcons
+from repro.core.list_scheduling import list_schedule
+from repro.model.taskset import TaskSystem
+from repro.sim.executor import simulate_deployment
+from repro.viz.dot import dag_to_dot, task_to_dot
+from repro.viz.svg import schedule_to_svg, trace_to_svg, write_svg
+
+
+@pytest.fixture
+def deployment(mixed_system):
+    result = fedcons(mixed_system, 4)
+    assert result.success
+    return result
+
+
+class TestScheduleSvg:
+    def test_well_formed_xml(self, fig1_dag):
+        svg = schedule_to_svg(list_schedule(fig1_dag, 2))
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_all_vertices(self, fig1_dag):
+        svg = schedule_to_svg(list_schedule(fig1_dag, 2))
+        for v in fig1_dag.vertices:
+            assert str(v) in svg
+
+    def test_deadline_marker(self, fig1_dag):
+        svg = schedule_to_svg(list_schedule(fig1_dag, 2), deadline=16)
+        assert "D=16" in svg
+
+    def test_lane_per_processor(self, fig1_dag):
+        svg = schedule_to_svg(list_schedule(fig1_dag, 3))
+        for p in range(3):
+            assert f">P{p}<" in svg
+
+    def test_invalid_width(self, fig1_dag):
+        with pytest.raises(ReproError):
+            schedule_to_svg(list_schedule(fig1_dag, 1), width=0)
+
+    def test_write_svg(self, fig1_dag, tmp_path):
+        path = tmp_path / "s.svg"
+        write_svg(schedule_to_svg(list_schedule(fig1_dag, 2)), path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestTraceSvg:
+    def test_well_formed(self, deployment):
+        report = simulate_deployment(deployment, 100, rng=0, record_trace=True)
+        svg = trace_to_svg(report, 4)
+        ET.fromstring(svg)
+
+    def test_requires_records(self, deployment):
+        report = simulate_deployment(deployment, 100, rng=0, record_trace=False)
+        with pytest.raises(ReproError, match="record_trace"):
+            trace_to_svg(report, 4)
+
+    def test_legend_has_all_tasks(self, deployment, mixed_system):
+        report = simulate_deployment(deployment, 100, rng=0, record_trace=True)
+        svg = trace_to_svg(report, 4)
+        for task in mixed_system:
+            assert task.name in svg
+
+    def test_window_clip(self, deployment):
+        report = simulate_deployment(deployment, 100, rng=0, record_trace=True)
+        svg = trace_to_svg(report, 4, window=(0, 20))
+        ET.fromstring(svg)
+
+    def test_empty_window_rejected(self, deployment):
+        report = simulate_deployment(deployment, 100, rng=0, record_trace=True)
+        with pytest.raises(ReproError, match="window"):
+            trace_to_svg(report, 4, window=(10, 10))
+
+
+class TestDot:
+    def test_digraph_structure(self, fig1_dag):
+        dot = dag_to_dot(fig1_dag)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for u, v in fig1_dag.edges:
+            assert f'"{u}" -> "{v}"' in dot
+
+    def test_wcet_labels(self, fig1_dag):
+        dot = dag_to_dot(fig1_dag)
+        assert "v3 (3)" in dot
+
+    def test_critical_path_highlighted(self, fig1_dag):
+        dot = dag_to_dot(fig1_dag)
+        # v1 -> v3 -> v5 is the critical chain.
+        assert dot.count("#c00000") >= 5  # 3 vertices + 2 edges
+
+    def test_no_highlight_option(self, fig1_dag):
+        dot = dag_to_dot(fig1_dag, highlight_critical=False)
+        assert "#c00000" not in dot
+
+    def test_bad_name_rejected(self, fig1_dag):
+        with pytest.raises(ReproError, match="alphanumeric"):
+            dag_to_dot(fig1_dag, name="bad name!")
+
+    def test_task_banner(self, fig1_task):
+        dot = task_to_dot(fig1_task)
+        assert "vol=9" in dot and "low-density" in dot
