@@ -9,10 +9,29 @@ and asserts the qualitative *shape* the paper reports.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.reporting import Table
+from repro.obs.metrics import metrics
+
+#: Timing/counter artifact written next to this file after every benchmark
+#: session, so the perf trajectory of the hot paths (dbf evaluations, LS
+#: invocations, simulator events, per-phase durations) is tracked PR-to-PR.
+OBS_ARTIFACT = Path(__file__).parent / "BENCH_obs.json"
+
+
+def pytest_sessionstart(session):
+    """Collect observability counters/timers for the whole benchmark run."""
+    metrics.reset()
+    metrics.enable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the registry snapshot as the session's perf artifact."""
+    metrics.disable()
+    metrics.to_json(OBS_ARTIFACT)
 
 
 @pytest.fixture

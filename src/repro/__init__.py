@@ -22,6 +22,10 @@ Validation
 Workloads & experiments
     :mod:`repro.generation` -- random DAG/task-system generators;
     :mod:`repro.experiments` -- the paper's evaluation harness.
+Observability
+    :mod:`repro.obs` -- structured logging (:func:`configure_logging`),
+    decision tracing (:func:`~repro.obs.tracing`), and a metrics/timing
+    registry (:data:`~repro.obs.metrics`, :func:`~repro.obs.collecting`).
 """
 
 from repro import errors
@@ -54,6 +58,7 @@ from repro.model import (
     load_system,
     save_system,
 )
+from repro.obs import collecting, configure_logging, metrics, tracing
 
 __version__ = "1.0.0"
 
@@ -84,5 +89,9 @@ __all__ = [
     "save_system",
     "load_system",
     "errors",
+    "configure_logging",
+    "tracing",
+    "collecting",
+    "metrics",
     "__version__",
 ]

@@ -27,6 +27,8 @@ from repro.baselines.global_edf import gedf_any_test
 from repro.baselines.partitioned_sequential import partitioned_sequential
 from repro.core.fedcons import fedcons
 from repro.model.serialization import load_system
+from repro.obs import metrics, tracing
+from repro.obs.cli import add_observability_arguments, configure_from_args
 from repro.sim.executor import simulate_deployment
 from repro.sim.workload import ExecutionTimeModel, ReleasePattern
 
@@ -71,7 +73,9 @@ def generate_main(argv: list[str] | None = None) -> int:
         default="uunifast",
     )
     parser.add_argument("--seed", type=int, default=0)
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
 
     from repro.errors import GenerationError
     from repro.generation.tasksets import SystemConfig, generate_system
@@ -107,6 +111,15 @@ def _load(path: str):
         raise SystemExit(2) from exc
 
 
+def _write_artifact(write, path: Path) -> None:
+    """Run *write(path)*, turning OSError into a clean CLI failure."""
+    try:
+        write(path)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
 def analyze_main(argv: list[str] | None = None) -> int:
     """``fedcons-analyze``: schedulability analysis of a stored task system."""
     parser = argparse.ArgumentParser(
@@ -132,13 +145,39 @@ def analyze_main(argv: list[str] | None = None) -> int:
         help="report per-task worst-case response-time bounds (requires "
         "acceptance)",
     )
+    parser.add_argument(
+        "--explain", type=Path, default=None, metavar="OUT.json",
+        help="write the full decision trace (every MINPROCS step, every "
+        "PARTITION placement, and the decisive rejection) as JSON",
+    )
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
 
     system = _load(args.system)
     print(system.describe())
     print()
-    result = fedcons(system, args.processors)
+    if args.explain is not None:
+        with tracing() as trace:
+            result = fedcons(system, args.processors)
+        document = {
+            "system": args.system,
+            "processors": args.processors,
+            "success": result.success,
+            "reason": result.reason.value if result.reason else None,
+            **trace.to_dict(),
+        }
+        import json as _json
+
+        _write_artifact(
+            lambda p: p.write_text(_json.dumps(document, indent=2) + "\n"),
+            args.explain,
+        )
+    else:
+        result = fedcons(system, args.processors)
     print(result.describe())
+    if args.explain is not None:
+        print(f"decision trace written to {args.explain}")
 
     if args.baselines:
         print()
@@ -197,12 +236,24 @@ def simulate_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--svg", type=Path, default=None,
                         help="write an SVG Gantt trace to this path")
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="OUT.json",
+        help="collect counters/timers (dbf evaluations, simulator events, "
+        "phase durations) and write them as JSON",
+    )
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
 
+    if args.metrics is not None:
+        metrics.reset()
+        metrics.enable()
     system = _load(args.system)
     result = fedcons(system, args.processors)
     if not result.success:
         print(result.describe(), file=sys.stderr)
+        if args.metrics is not None:
+            _write_artifact(metrics.to_json, args.metrics)
         return 1
     horizon = args.horizon or 10.0 * max(t.period for t in system)
     report = simulate_deployment(
@@ -228,4 +279,7 @@ def simulate_main(argv: list[str] | None = None) -> int:
             args.svg,
         )
         print(f"trace written to {args.svg}")
+    if args.metrics is not None:
+        _write_artifact(metrics.to_json, args.metrics)
+        print(f"metrics written to {args.metrics}")
     return 0 if report.ok else 1

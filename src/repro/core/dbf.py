@@ -22,6 +22,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.errors import AnalysisError
 from repro.model.sporadic import SporadicTask
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = [
     "total_dbf",
@@ -39,11 +40,15 @@ _TOL = 1e-9
 
 def total_dbf(tasks: Iterable[SporadicTask], t: float) -> float:
     """Exact aggregate demand ``sum_i dbf(tau_i, t)``."""
+    if _metrics.enabled:
+        _metrics.incr("dbf_exact_evaluations")
     return sum(task.dbf(t) for task in tasks)
 
 
 def total_dbf_approx(tasks: Iterable[SporadicTask], t: float) -> float:
     """Approximate aggregate demand ``sum_i DBF*(tau_i, t)``."""
+    if _metrics.enabled:
+        _metrics.incr("dbf_star_evaluations")
     return sum(task.dbf_approx(t) for task in tasks)
 
 

@@ -25,6 +25,8 @@ template, and the shared-pool partition -- and is directly executable by
 
 from __future__ import annotations
 
+import math
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from enum import Enum
@@ -42,6 +44,9 @@ from repro.core.schedule import Schedule
 from repro.model.dag import VertexId
 from repro.model.task import SporadicDAGTask
 from repro.model.taskset import TaskSystem
+from repro.obs.events import PhaseComplete, Rejection, current_context
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = [
     "FailureReason",
@@ -49,6 +54,8 @@ __all__ = [
     "FedConsResult",
     "fedcons",
 ]
+
+_log = get_logger(__name__)
 
 
 class FailureReason(Enum):
@@ -199,34 +206,119 @@ def fedcons(
         system = TaskSystem(system)
     system.validate_constrained()
 
+    ctx = current_context()
+    started = time.perf_counter()
+    if _metrics.enabled:
+        _metrics.incr("fedcons_invocations")
+    _log.debug(
+        "FEDCONS start: %d tasks (%d high-density) on m=%d",
+        len(system), len(system.high_density_tasks), processors,
+    )
+
+    def _finish(result: FedConsResult) -> FedConsResult:
+        _metrics.record_time("fedcons.total_seconds", time.perf_counter() - started)
+        if result.success:
+            _log.info(
+                "FEDCONS ACCEPTED on m=%d: %d dedicated + %d shared processors",
+                processors,
+                result.dedicated_processor_count,
+                result.shared_processor_count,
+            )
+        else:
+            name = (
+                result.failed_task.name or repr(result.failed_task)
+                if result.failed_task is not None
+                else "?"
+            )
+            _log.info(
+                "FEDCONS REJECTED on m=%d: %s at task %s",
+                processors, result.reason.value, name,
+            )
+        return result
+
     # A task whose critical path exceeds its deadline is infeasible on any
     # platform of any speed; report that distinctly from resource exhaustion.
+    phase_start = time.perf_counter()
     for task in system:
         if task.span > task.deadline:
-            return FedConsResult(
-                success=False,
-                total_processors=processors,
-                allocations=(),
-                shared_processors=tuple(range(processors)),
-                partition=None,
-                reason=FailureReason.STRUCTURALLY_INFEASIBLE,
-                failed_task=task,
+            if ctx is not None:
+                name = task.name or repr(task)
+                ctx.record(
+                    Rejection(
+                        phase="validate",
+                        reason=FailureReason.STRUCTURALLY_INFEASIBLE.value,
+                        task=name,
+                        detail={
+                            "span": task.span,
+                            "deadline": task.deadline,
+                            "margin": task.deadline - task.span,
+                        },
+                    )
+                )
+            return _finish(
+                FedConsResult(
+                    success=False,
+                    total_processors=processors,
+                    allocations=(),
+                    shared_processors=tuple(range(processors)),
+                    partition=None,
+                    reason=FailureReason.STRUCTURALLY_INFEASIBLE,
+                    failed_task=task,
+                )
             )
+    if ctx is not None:
+        ctx.record(
+            PhaseComplete(
+                phase="validate",
+                ok=True,
+                duration=time.perf_counter() - phase_start,
+                detail={"tasks": len(system)},
+            )
+        )
 
+    phase_start = time.perf_counter()
     remaining = processors  # m_r of the pseudo-code
     next_free = 0  # physical processors are granted left-to-right
     allocations: list[HighDensityAllocation] = []
     for task in system.high_density_tasks:
         result: MinProcsResult | None = minprocs(task, remaining, order=ls_order)
         if result is None:
-            return FedConsResult(
-                success=False,
-                total_processors=processors,
-                allocations=tuple(allocations),
-                shared_processors=tuple(range(next_free, processors)),
-                partition=None,
-                reason=FailureReason.HIGH_DENSITY_PHASE,
-                failed_task=task,
+            name = task.name or repr(task)
+            if ctx is not None:
+                ctx.record(
+                    Rejection(
+                        phase="minprocs",
+                        reason=FailureReason.HIGH_DENSITY_PHASE.value,
+                        task=name,
+                        detail={
+                            "available": remaining,
+                            "density": task.density,
+                            "minimum_cluster": max(
+                                1, math.ceil(task.density - 1e-12)
+                            ),
+                            "span": task.span,
+                            "deadline": task.deadline,
+                        },
+                    )
+                )
+            _log.info(
+                "MINPROCS reject: %s needs more than the %d remaining "
+                "processors (density %.3f)",
+                name, remaining, task.density,
+            )
+            _metrics.record_time(
+                "fedcons.minprocs_seconds", time.perf_counter() - phase_start
+            )
+            return _finish(
+                FedConsResult(
+                    success=False,
+                    total_processors=processors,
+                    allocations=tuple(allocations),
+                    shared_processors=tuple(range(next_free, processors)),
+                    partition=None,
+                    reason=FailureReason.HIGH_DENSITY_PHASE,
+                    failed_task=task,
+                )
             )
         cluster = tuple(range(next_free, next_free + result.processors))
         allocations.append(
@@ -237,9 +329,38 @@ def fedcons(
                 minprocs_attempts=result.attempts,
             )
         )
+        _log.debug(
+            "MINPROCS grant: %s gets processors %s (makespan %g <= D %g)",
+            task.name or repr(task), list(cluster),
+            result.schedule.makespan, task.deadline,
+        )
         next_free += result.processors
         remaining -= result.processors
+    minprocs_elapsed = time.perf_counter() - phase_start
+    _metrics.record_time("fedcons.minprocs_seconds", minprocs_elapsed)
+    if ctx is not None:
+        ctx.record(
+            PhaseComplete(
+                phase="minprocs",
+                ok=True,
+                duration=minprocs_elapsed,
+                detail={
+                    "clusters": {
+                        a.task.name or repr(a.task): a.cluster_size
+                        for a in allocations
+                    },
+                    "dedicated": next_free,
+                    "remaining": remaining,
+                },
+            )
+        )
+    _log.info(
+        "FEDCONS minprocs phase done: %d high-density tasks on %d "
+        "dedicated processors, %d remaining",
+        len(allocations), next_free, remaining,
+    )
 
+    phase_start = time.perf_counter()
     shared = tuple(range(next_free, processors))
     low = system.low_density_tasks
     part = partition(
@@ -249,23 +370,47 @@ def fedcons(
         fit=partition_fit,
         admission=partition_admission,
     )
+    partition_elapsed = time.perf_counter() - phase_start
+    _metrics.record_time("fedcons.partition_seconds", partition_elapsed)
+    if ctx is not None:
+        ctx.record(
+            PhaseComplete(
+                phase="partition",
+                ok=part.success,
+                duration=partition_elapsed,
+                detail={
+                    "tasks": len(low),
+                    "processors": remaining,
+                    "used_processors": part.used_processors,
+                },
+            )
+        )
+    _log.info(
+        "FEDCONS partition phase done: %d low-density tasks on %d shared "
+        "processors -> %s",
+        len(low), remaining, "placed" if part.success else "FAILURE",
+    )
     if not part.success:
         failed_dag = None
         if part.failed_task is not None:
             failed_dag = part.dag_tasks.get(part.failed_task.name)
-        return FedConsResult(
-            success=False,
+        return _finish(
+            FedConsResult(
+                success=False,
+                total_processors=processors,
+                allocations=tuple(allocations),
+                shared_processors=shared,
+                partition=part,
+                reason=FailureReason.PARTITION_PHASE,
+                failed_task=failed_dag,
+            )
+        )
+    return _finish(
+        FedConsResult(
+            success=True,
             total_processors=processors,
             allocations=tuple(allocations),
             shared_processors=shared,
             partition=part,
-            reason=FailureReason.PARTITION_PHASE,
-            failed_task=failed_dag,
         )
-    return FedConsResult(
-        success=True,
-        total_processors=processors,
-        allocations=tuple(allocations),
-        shared_processors=shared,
-        partition=part,
     )

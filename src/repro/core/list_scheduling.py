@@ -26,6 +26,7 @@ from collections.abc import Callable, Sequence
 from repro.errors import AnalysisError
 from repro.core.schedule import Schedule, Slot
 from repro.model.dag import DAG, VertexId
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = [
     "list_schedule",
@@ -129,6 +130,9 @@ def list_schedule(
     """
     if processors < 1:
         raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    if _metrics.enabled:
+        _metrics.incr("list_schedule_invocations")
+        _metrics.incr("list_schedule_vertices", len(dag))
     times = dict(dag.wcets) if wcets is None else dict(wcets)
     missing = [v for v in dag.vertices if v not in times]
     if missing:

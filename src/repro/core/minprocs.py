@@ -23,8 +23,13 @@ from repro.core.list_scheduling import list_schedule
 from repro.core.schedule import Schedule
 from repro.model.dag import VertexId
 from repro.model.task import SporadicDAGTask
+from repro.obs.events import MinprocsStep, current_context
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = ["MinProcsResult", "minprocs", "minprocs_unbounded"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -87,13 +92,37 @@ def minprocs(
     if task.span > task.deadline:
         # No processor count can beat the critical path.
         return None
+    ctx = current_context()
+    name = task.name or repr(task)
     start = max(1, math.ceil(task.density - 1e-12))
     attempts = 0
     for mu in range(start, available + 1):
         attempts += 1
+        if _metrics.enabled:
+            _metrics.incr("minprocs_ls_runs")
         schedule = list_schedule(task.dag, mu, order=order)
-        if schedule.meets_deadline(task.deadline):
+        fits = schedule.meets_deadline(task.deadline)
+        if ctx is not None:
+            ctx.record(
+                MinprocsStep(
+                    task=name,
+                    processors=mu,
+                    makespan=schedule.makespan,
+                    deadline=task.deadline,
+                    fits=fits,
+                )
+            )
+        _log.debug(
+            "MINPROCS %s: mu=%d makespan=%g deadline=%g -> %s",
+            name, mu, schedule.makespan, task.deadline,
+            "fits" if fits else "too long",
+        )
+        if fits:
             return MinProcsResult(processors=mu, schedule=schedule, attempts=attempts)
+    _log.debug(
+        "MINPROCS %s: no cluster of <= %d processors meets deadline %g",
+        name, available, task.deadline,
+    )
     return None
 
 

@@ -35,6 +35,11 @@ from repro.errors import AnalysisError
 from repro.core import dbf as dbf_mod
 from repro.model.sporadic import SporadicTask
 from repro.model.task import SporadicDAGTask
+from repro.obs.events import PartitionAttempt, Rejection, current_context
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
+
+_log = get_logger(__name__)
 
 __all__ = [
     "FitStrategy",
@@ -150,6 +155,41 @@ def _slack_after(bucket: list[SporadicTask], task: SporadicTask) -> float:
     return 1.0 - sum(t.utilization for t in bucket) - task.utilization
 
 
+def _rejection_detail(
+    buckets: list[list[SporadicTask]], task: SporadicTask
+) -> dict:
+    """Quantify the violated placement bound for every shared processor.
+
+    For each processor: the DBF*-demand slack ``D_i - demand(D_i) - C_i``
+    and the rate slack ``1 - U(k) - u_i`` (Figure 4's two conditions); the
+    task fits where both are non-negative, so on rejection every processor
+    shows at least one negative slack.
+    """
+    per_processor = []
+    for k, bucket in enumerate(buckets):
+        demand = dbf_mod.total_dbf_approx(bucket, task.deadline)
+        per_processor.append(
+            {
+                "processor": k,
+                "demand_slack": task.deadline - demand - task.wcet,
+                "rate_slack": 1.0 - sum(t.utilization for t in bucket)
+                - task.utilization,
+            }
+        )
+    return {
+        "deadline": task.deadline,
+        "wcet": task.wcet,
+        "utilization": task.utilization,
+        "best_demand_slack": max(
+            (p["demand_slack"] for p in per_processor), default=None
+        ),
+        "best_rate_slack": max(
+            (p["rate_slack"] for p in per_processor), default=None
+        ),
+        "per_processor": per_processor,
+    }
+
+
 def _sorted_tasks(
     tasks: Sequence[SporadicTask], order: TaskOrder
 ) -> list[SporadicTask]:
@@ -182,11 +222,40 @@ def partition_sporadic(
     """
     if processors < 0:
         raise AnalysisError(f"processor count must be >= 0, got {processors}")
+    ctx = current_context()
     buckets: list[list[SporadicTask]] = [[] for _ in range(processors)]
     fits = _FIT_TESTS[admission]
     for task in _sorted_tasks(tasks, order):
+        if _metrics.enabled:
+            _metrics.incr("partition_placement_attempts")
         candidates = [k for k in range(processors) if fits(buckets[k], task)]
         if not candidates:
+            name = task.name or repr(task)
+            if ctx is not None:
+                ctx.record(
+                    PartitionAttempt(
+                        task=name,
+                        deadline=task.deadline,
+                        wcet=task.wcet,
+                        utilization=task.utilization,
+                        processor=None,
+                        candidates=0,
+                        admitted=False,
+                    )
+                )
+                ctx.record(
+                    Rejection(
+                        phase="partition",
+                        reason="no_processor_fits",
+                        task=name,
+                        detail=_rejection_detail(buckets, task),
+                    )
+                )
+            _log.info(
+                "PARTITION reject: %s (D=%g, C=%g, u=%.3f) fits none of %d "
+                "shared processors",
+                name, task.deadline, task.wcet, task.utilization, processors,
+            )
             return PartitionResult(
                 success=False,
                 assignment=tuple(tuple(b) for b in buckets),
@@ -199,6 +268,22 @@ def partition_sporadic(
             chosen = min(candidates, key=lambda k: _slack_after(buckets[k], task))
         else:  # WORST_FIT
             chosen = max(candidates, key=lambda k: _slack_after(buckets[k], task))
+        if ctx is not None:
+            ctx.record(
+                PartitionAttempt(
+                    task=task.name or repr(task),
+                    deadline=task.deadline,
+                    wcet=task.wcet,
+                    utilization=task.utilization,
+                    processor=chosen,
+                    candidates=len(candidates),
+                    admitted=True,
+                )
+            )
+        _log.debug(
+            "PARTITION fit: %s -> shared P%d (%d/%d candidates)",
+            task.name or repr(task), chosen, len(candidates), processors,
+        )
         buckets[chosen].append(task)
     return PartitionResult(
         success=True,

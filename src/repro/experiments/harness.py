@@ -8,6 +8,7 @@ tests under the names the experiment tables use.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
@@ -25,8 +26,12 @@ from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
 from repro.model.taskset import TaskSystem
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = ["ALGORITHMS", "SweepPoint", "acceptance_sweep", "sweep_table"]
+
+_log = get_logger(__name__)
 
 Algorithm = Callable[[TaskSystem, int], bool]
 
@@ -82,6 +87,7 @@ def acceptance_sweep(
         raise AnalysisError(f"samples must be >= 1, got {samples}")
     points: list[SweepPoint] = []
     for j, norm_util in enumerate(utilizations):
+        point_start = time.perf_counter()
         cfg = config.with_utilization(norm_util)
         rng = np.random.default_rng(seed * 1_000_003 + j)
         accepted = {name: 0 for name in algorithms}
@@ -101,6 +107,18 @@ def acceptance_sweep(
                     name: accepted[name] / samples for name in algorithms
                 },
             )
+        )
+        point_elapsed = time.perf_counter() - point_start
+        if _metrics.enabled:
+            _metrics.record_time("sweep.point_seconds", point_elapsed)
+            _metrics.incr("sweep_systems_generated", samples)
+        _log.info(
+            "sweep point %d/%d U/m=%.3f: %s (%d samples, %.2fs)",
+            j + 1, len(utilizations), norm_util,
+            ", ".join(
+                f"{name}={accepted[name] / samples:.2f}" for name in algorithms
+            ),
+            samples, point_elapsed,
         )
     return points
 

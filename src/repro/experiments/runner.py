@@ -41,8 +41,12 @@ from repro.experiments import (
     exp_workload,
 )
 from repro.experiments.reporting import Table
+from repro.obs import get_logger, metrics
+from repro.obs.cli import add_observability_arguments, configure_from_args
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+_log = get_logger(__name__)
 
 Runner = Callable[..., list[Table]]
 
@@ -116,7 +120,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=Path, default=None, help="directory for CSV output"
     )
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="OUT.json",
+        help="collect counters/timers across all experiments and write "
+        "them as JSON",
+    )
+    add_observability_arguments(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
 
     if args.list:
         for key, (description, _) in EXPERIMENTS.items():
@@ -128,9 +139,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("nothing to do: pass --experiment, --all, or --list")
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+    if args.metrics is not None:
+        metrics.reset()
+        metrics.enable()
 
     for target in targets:
         started = time.perf_counter()
+        _log.info("experiment %s starting", target)
         try:
             tables = run_experiment(
                 target, samples=args.samples, seed=args.seed, quick=args.quick
@@ -139,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
             print(exc, file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - started
+        metrics.record_time(f"experiment.{target}.seconds", elapsed)
+        _log.info("experiment %s finished in %.1fs", target, elapsed)
         for i, table in enumerate(tables):
             print(table.render())
             print()
@@ -147,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
                 table.to_csv(args.out / f"{safe}_{i}.csv")
         print(f"[{target} finished in {elapsed:.1f}s]")
         print()
+    if args.metrics is not None:
+        try:
+            metrics.to_json(args.metrics)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        print(f"metrics written to {args.metrics}")
     return 0
 
 

@@ -1,0 +1,66 @@
+"""Observability: structured logging, decision tracing, metrics & timing.
+
+Three independent, individually-zero-cost facilities:
+
+``repro.obs.logging``
+    A library-wide ``repro`` logger hierarchy -- silent by default
+    (NullHandler), one-call setup via :func:`configure_logging` with plain or
+    JSON-lines output.
+``repro.obs.events``
+    Typed decision-trace events (:class:`MinprocsStep`,
+    :class:`PartitionAttempt`, :class:`PhaseComplete`, :class:`Rejection`)
+    collected by a contextvar-scoped :class:`ObsContext` -- so a FEDCONS
+    rejection comes with an exportable, machine-readable explanation of which
+    task, phase and bound failed.
+``repro.obs.metrics``
+    A registry of counters and wall-clock timers over the analysis and
+    simulation hot paths, with ``snapshot()`` and JSON/CSV export.
+
+Typical use::
+
+    from repro.obs import configure_logging, tracing, collecting
+
+    configure_logging("DEBUG")                # watch every decision
+    with tracing() as trace, collecting() as m:
+        result = fedcons(system, m=8)
+    if not result.success:
+        trace.to_json("why_rejected.json")    # rejection + full event log
+    print(m.snapshot()["counters"])           # dbf_star_evaluations, ...
+"""
+
+from repro.obs.events import (
+    MinprocsStep,
+    ObsContext,
+    ObsEvent,
+    PartitionAttempt,
+    PhaseComplete,
+    Rejection,
+    current_context,
+    tracing,
+)
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import MetricsRegistry, TimerStats, collecting, metrics
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "ObsEvent",
+    "ObsContext",
+    "MinprocsStep",
+    "PartitionAttempt",
+    "PhaseComplete",
+    "Rejection",
+    "current_context",
+    "tracing",
+    "MetricsRegistry",
+    "TimerStats",
+    "collecting",
+    "metrics",
+]

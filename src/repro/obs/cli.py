@@ -1,0 +1,84 @@
+"""Shared argparse glue for the observability CLI flags.
+
+Every ``fedcons-*`` entry point gains the same three flags::
+
+    --log-level LEVEL   configure the ``repro`` logger hierarchy
+    --json-logs         emit JSON-lines instead of human-readable logs
+    --version           print the installed package version and exit
+
+:func:`add_observability_arguments` installs them on a parser and
+:func:`configure_from_args` acts on the parsed namespace before the tool
+starts working.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.logging import configure_logging
+
+__all__ = [
+    "package_version",
+    "add_observability_arguments",
+    "configure_from_args",
+]
+
+
+def package_version() -> str:
+    """The installed ``repro`` distribution version.
+
+    Falls back to ``repro.__version__`` when the package runs straight from
+    a source checkout (``PYTHONPATH=src``) without being installed.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
+def _log_level(text: str) -> str:
+    """argparse type: validate a level name at parse time (clean error)."""
+    import logging
+
+    if not isinstance(logging.getLevelName(text.upper()), int):
+        raise argparse.ArgumentTypeError(
+            f"unknown log level {text!r} (expected DEBUG, INFO, WARNING, "
+            "ERROR or CRITICAL)"
+        )
+    return text
+
+
+def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install ``--log-level``, ``--json-logs`` and ``--version`` on *parser*."""
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        type=_log_level,
+        metavar="LEVEL",
+        help="enable library logging at this level (DEBUG, INFO, ...); "
+        "silent when omitted",
+    )
+    parser.add_argument(
+        "--json-logs",
+        action="store_true",
+        help="emit log records as JSON lines (implies --log-level INFO "
+        "unless set)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+    )
+
+
+def configure_from_args(args: argparse.Namespace) -> None:
+    """Apply the parsed observability flags (no-op when none were given)."""
+    if args.log_level is not None or args.json_logs:
+        configure_logging(
+            level=args.log_level if args.log_level is not None else "INFO",
+            json=args.json_logs,
+        )

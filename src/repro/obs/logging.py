@@ -1,0 +1,119 @@
+"""Structured logging for the :mod:`repro` library.
+
+The library logs under a single ``repro`` logger hierarchy whose names mirror
+the module tree (``repro.core.fedcons``, ``repro.sim.executor``, ...).
+Following library convention, a :class:`logging.NullHandler` is attached to
+the root ``repro`` logger at import time, so the library is **silent by
+default**: nothing reaches stderr unless the embedding application configures
+handlers itself or calls :func:`configure_logging`.
+
+:func:`configure_logging` is the one-call setup for applications and the CLI
+tools: it attaches a stream handler with either a human-readable or a
+JSON-lines formatter and sets the hierarchy level.  It is idempotent --
+calling it again reconfigures rather than duplicating handlers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging", "JsonFormatter"]
+
+#: Name of the library's root logger; every module logger lives below it.
+ROOT_LOGGER_NAME = "repro"
+
+# Library convention (PEP 282 / logging HOWTO): silent unless configured.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: Marker attribute identifying handlers installed by :func:`configure_logging`.
+_MANAGED = "_repro_obs_managed"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger inside the ``repro`` hierarchy.
+
+    Module code passes ``__name__`` (already ``repro.*``); application code
+    may pass any suffix, which is nested under ``repro.``.
+    """
+    if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object per line.
+
+    The object always carries ``ts`` (seconds since the epoch), ``level``,
+    ``logger`` and ``message``; any keys passed via ``extra=`` that are not
+    standard :class:`logging.LogRecord` attributes are included verbatim.
+    """
+
+    _STANDARD = frozenset(
+        logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in self._STANDARD:
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    json: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` hierarchy (idempotent).
+
+    Parameters
+    ----------
+    level:
+        Threshold for the whole hierarchy -- a :mod:`logging` level number or
+        name (``"DEBUG"``, ``"INFO"``, ...).
+    json:
+        Emit JSON lines (:class:`JsonFormatter`) instead of the human-readable
+        ``time level logger: message`` format.
+    stream:
+        Destination stream; defaults to ``sys.stderr``.
+
+    Returns
+    -------
+    logging.Handler
+        The installed handler (useful for tests that want to detach it).
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED, False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    setattr(handler, _MANAGED, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

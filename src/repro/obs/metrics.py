@@ -1,0 +1,174 @@
+"""Counters and wall-clock timers for the analysis and simulation hot paths.
+
+A :class:`MetricsRegistry` holds named monotonically-increasing **counters**
+(``dbf_star_evaluations``, ``list_schedule_invocations``,
+``sim_events_processed``, ...) and **timers** that accumulate wall-clock
+durations (``fedcons.total_seconds``, ``sweep.point_seconds``, ...).
+
+The registry is *disabled* by default and instrumented hot paths guard every
+update with a plain attribute check::
+
+    if metrics.enabled:
+        metrics.incr("dbf_star_evaluations")
+
+so the cost with observability off is one attribute load and a branch --
+unmeasurable against the arithmetic it sits next to.  Applications (and the
+CLI's ``--metrics`` flag) enable the module-level :data:`metrics` registry,
+run, then export :meth:`~MetricsRegistry.snapshot` as JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from contextlib import contextmanager
+from collections.abc import Iterator
+from pathlib import Path
+
+__all__ = ["TimerStats", "MetricsRegistry", "metrics", "collecting"]
+
+
+class TimerStats:
+    """Accumulated wall-clock observations of one named timer."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean observed duration (0 when nothing was observed)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "max_seconds": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and timers with snapshot/reset and JSON/CSV export."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, TimerStats] = {}
+
+    # -- collection --------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start collecting."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting (already-collected values are kept)."""
+        self.enabled = False
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Fold one wall-clock observation into timer *name*."""
+        if not self.enabled:
+            return
+        stats = self._timers.get(name)
+        if stats is None:
+            stats = self._timers[name] = TimerStats()
+        stats.add(seconds)
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time the enclosed block with :func:`time.perf_counter`.
+
+        When the registry is disabled the block runs without any clock
+        reads.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_time(name, time.perf_counter() - start)
+
+    # -- inspection --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def timer(self, name: str) -> TimerStats:
+        """Accumulated stats of timer *name* (empty if never observed)."""
+        return self._timers.get(name, TimerStats())
+
+    def snapshot(self) -> dict:
+        """Immutable dict of everything collected so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: stats.to_dict()
+                for name, stats in sorted(self._timers.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all collected values (the enabled flag is unchanged)."""
+        self._counters.clear()
+        self._timers.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def to_json(self, path: str | Path, indent: int = 2) -> None:
+        """Write :meth:`snapshot` as a JSON document."""
+        Path(path).write_text(json.dumps(self.snapshot(), indent=indent) + "\n")
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write :meth:`snapshot` as rows of ``kind,name,field,value``."""
+        snap = self.snapshot()
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["kind", "name", "field", "value"])
+            for name, value in snap["counters"].items():
+                writer.writerow(["counter", name, "value", value])
+            for name, stats in snap["timers"].items():
+                for key, value in stats.items():
+                    writer.writerow(["timer", name, key, value])
+
+
+#: The library-wide registry all instrumented modules report into.
+metrics = MetricsRegistry()
+
+
+@contextmanager
+def collecting(reset: bool = True) -> Iterator[MetricsRegistry]:
+    """Enable the global :data:`metrics` registry for a scoped block.
+
+    With ``reset=True`` (default) the registry starts empty, so the snapshot
+    on exit covers exactly the enclosed work.  The previous enabled state is
+    restored afterwards.
+    """
+    was_enabled = metrics.enabled
+    if reset:
+        metrics.reset()
+    metrics.enable()
+    try:
+        yield metrics
+    finally:
+        metrics.enabled = was_enabled

@@ -14,10 +14,14 @@ up to the WCETs.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.core.fedcons import FedConsResult
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
 from repro.sim.cluster import simulate_cluster
 from repro.sim.trace import SimulationReport, Trace
 from repro.sim.uniprocessor_edf import SequentialJob, simulate_uniprocessor_edf
@@ -29,6 +33,8 @@ from repro.sim.workload import (
 )
 
 __all__ = ["simulate_deployment"]
+
+_log = get_logger(__name__)
 
 
 def simulate_deployment(
@@ -96,6 +102,15 @@ def simulate_deployment(
     if rng is None or isinstance(rng, int):
         rng = np.random.default_rng(rng)
 
+    started = time.perf_counter()
+    if _metrics.enabled:
+        _metrics.incr("sim_deployments")
+    _log.info(
+        "simulate deployment: horizon %g, %d dedicated clusters, %d shared "
+        "processors (%s pool)",
+        horizon, len(deployment.allocations),
+        deployment.shared_processor_count, pool_policy,
+    )
     trace = Trace(record_executions=record_trace)
 
     # Dedicated clusters: template replay per high-density task.
@@ -173,4 +188,14 @@ def simulate_deployment(
             else:
                 simulate_uniprocessor_fp(jobs_fp, trace, processor=physical)
 
-    return trace.report(horizon)
+    report = trace.report(horizon)
+    _metrics.record_time(
+        "sim.deployment_seconds", time.perf_counter() - started
+    )
+    _log.info(
+        "simulation done: %d released / %d completed dag-jobs, %d deadline "
+        "miss(es)",
+        report.total_released, report.total_completed,
+        len(report.deadline_misses),
+    )
+    return report

@@ -23,6 +23,7 @@ from collections.abc import Iterable
 
 from repro.errors import SimulationError
 from repro.model.taskset import TaskSystem
+from repro.obs.metrics import metrics as _metrics
 from repro.sim.trace import ExecutionRecord, Trace
 from repro.sim.workload import DagJobInstance
 
@@ -104,6 +105,8 @@ def simulate_global_edf(
     events = 0
     while i < n or any(not a.finished for a in active):
         events += 1
+        if _metrics.enabled:
+            _metrics.incr("sim_events_processed")
         if events > max_events:
             raise SimulationError(
                 f"global-EDF simulation exceeded {max_events} events"

@@ -13,8 +13,12 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.model.dag import VertexId
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
 
 __all__ = ["ExecutionRecord", "DeadlineMiss", "TaskStats", "Trace", "SimulationReport"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True, order=True)
@@ -90,6 +94,9 @@ class Trace:
     def job_released(self, task: str) -> None:
         """Count one released dag-job of *task*."""
         self.stats[task].released += 1
+        if _metrics.enabled:
+            _metrics.incr("sim_jobs_released")
+        _log.debug("release: job of %s", task)
 
     def job_completed(
         self, task: str, release: float, deadline: float, completion: float
@@ -100,8 +107,21 @@ class Trace:
         response = completion - release
         stats.max_response = max(stats.max_response, response)
         stats.total_response += response
+        if _metrics.enabled:
+            _metrics.incr("sim_jobs_completed")
+        _log.debug(
+            "complete: job of %s released at %g done at %g (response %g)",
+            task, release, completion, response,
+        )
         if completion > deadline + 1e-9:
             stats.missed += 1
+            if _metrics.enabled:
+                _metrics.incr("sim_deadline_misses")
+            _log.warning(
+                "DEADLINE MISS: job of %s released at %g finished at %g, "
+                "%g past its deadline %g",
+                task, release, completion, completion - deadline, deadline,
+            )
             self.misses.append(
                 DeadlineMiss(
                     task=task,

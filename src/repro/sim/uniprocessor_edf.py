@@ -15,6 +15,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.obs.metrics import metrics as _metrics
 from repro.sim.trace import ExecutionRecord, Trace
 
 __all__ = ["SequentialJob", "simulate_uniprocessor_edf"]
@@ -91,6 +92,8 @@ def simulate_uniprocessor_edf(
     last_interrupted: int | None = None  # seq of the most recently paused job
     preempted: set[int] = set()
     while i < n or ready:
+        if _metrics.enabled:
+            _metrics.incr("sim_events_processed")
         if not ready:
             # Idle until the next release.
             now = max(now, ordered[i].release)

@@ -159,6 +159,40 @@ class TestGenerate:
         load_system(out)
 
 
+class TestVersion:
+    """Every entry point reports the package version via --version."""
+
+    @pytest.mark.parametrize(
+        "prog,main",
+        [
+            ("fedcons-analyze", "analyze_main"),
+            ("fedcons-simulate", "simulate_main"),
+            ("fedcons-generate", "generate_main"),
+        ],
+    )
+    def test_version_flag(self, prog, main, capsys):
+        import repro
+        import repro.cli as cli
+
+        with pytest.raises(SystemExit) as excinfo:
+            getattr(cli, main)(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert prog in out
+        assert repro.__version__ in out
+
+    def test_experiments_runner_version_flag(self, capsys):
+        import repro
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "fedcons-experiments" in out
+        assert repro.__version__ in out
+
+
 class TestAnalyzeResponses:
     def test_responses_flag(self, system_file, capsys):
         from repro.cli import analyze_main

@@ -1,16 +1,29 @@
 """Every example script must run clean end-to-end (they are executable
 documentation; a broken example is a broken deliverable)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted(
-    (Path(__file__).parent.parent / "examples").glob("*.py"),
-    key=lambda p: p.name,
-)
+REPO_ROOT = Path(__file__).parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"), key=lambda p: p.name)
+
+
+def _env_with_src() -> dict[str, str]:
+    """The current environment with ``src/`` prepended to PYTHONPATH.
+
+    The examples import :mod:`repro`; when the suite runs from a source
+    checkout (not an installed package) the subprocess needs the same
+    ``src`` path the test runner itself was launched with.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -21,6 +34,7 @@ def test_example_runs_clean(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # artifacts (visuals/) land in the temp dir
+        env=_env_with_src(),
     )
     assert result.returncode == 0, (
         f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"

@@ -1,0 +1,476 @@
+"""Tests for the observability layer: metrics registry, decision tracing,
+and the structured-logging behaviour of FEDCONS."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import logging
+
+import pytest
+
+from repro.model import DAG, SporadicDAGTask, TaskSystem
+from repro.core.fedcons import FailureReason, fedcons
+from repro.obs import (
+    MinprocsStep,
+    ObsContext,
+    PartitionAttempt,
+    PhaseComplete,
+    collecting,
+    configure_logging,
+    current_context,
+    get_logger,
+    metrics,
+    tracing,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Each test starts with tracing off and the global registry empty."""
+    metrics.disable()
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_managed", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+@pytest.fixture
+def overloaded_high_density() -> TaskSystem:
+    """One density-2 task plus a platform of one processor: MINPROCS fails."""
+    hd = SporadicDAGTask(
+        DAG.independent([4, 4, 4, 4]), deadline=8, period=10, name="hungry"
+    )
+    return TaskSystem([hd])
+
+
+@pytest.fixture
+def overloaded_low_density() -> TaskSystem:
+    """Four low-density tasks that cannot all share one processor."""
+    tasks = [
+        SporadicDAGTask(DAG.chain([3]), deadline=4, period=10, name=f"t{i}")
+        for i in range(4)
+    ]
+    return TaskSystem(tasks)
+
+
+@pytest.fixture
+def feasible_system() -> TaskSystem:
+    hd = SporadicDAGTask(
+        DAG.independent([4, 4, 4, 4]), deadline=8, period=10, name="high"
+    )
+    low = SporadicDAGTask(DAG.chain([1, 1]), deadline=6, period=12, name="low")
+    return TaskSystem([hd, low])
+
+
+class TestMetricsRegistry:
+    def test_disabled_by_default_and_noop(self):
+        registry = MetricsRegistry()
+        registry.incr("x")
+        registry.record_time("y", 1.0)
+        assert registry.counter("x") == 0
+        assert registry.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_counter_increments(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.incr("calls")
+        registry.incr("calls", 4)
+        assert registry.counter("calls") == 5
+        assert registry.snapshot()["counters"] == {"calls": 5}
+
+    def test_timer_accumulates(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.record_time("phase", 0.25)
+        registry.record_time("phase", 0.75)
+        stats = registry.timer("phase")
+        assert stats.count == 2
+        assert stats.total == pytest.approx(1.0)
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.max == pytest.approx(0.75)
+
+    def test_timed_context_manager(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.timed("block"):
+            pass
+        assert registry.timer("block").count == 1
+        assert registry.timer("block").total >= 0.0
+
+    def test_timed_noop_when_disabled(self):
+        registry = MetricsRegistry()
+        with registry.timed("block"):
+            pass
+        assert registry.timer("block").count == 0
+
+    def test_reset(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.incr("a")
+        registry.record_time("b", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "timers": {}}
+        assert registry.enabled  # reset does not change collection state
+
+    def test_json_export(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.incr("a", 3)
+        registry.record_time("b", 0.5)
+        path = tmp_path / "metrics.json"
+        registry.to_json(path)
+        data = json.loads(path.read_text())
+        assert data["counters"] == {"a": 3}
+        assert data["timers"]["b"]["count"] == 1
+        assert data["timers"]["b"]["total_seconds"] == pytest.approx(0.5)
+
+    def test_csv_export(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.incr("a", 3)
+        registry.record_time("b", 0.5)
+        path = tmp_path / "metrics.csv"
+        registry.to_csv(path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["kind", "name", "field", "value"]
+        assert ["counter", "a", "value", "3"] in rows
+        assert any(r[:3] == ["timer", "b", "total_seconds"] for r in rows)
+
+    def test_collecting_scopes_global_registry(self, feasible_system):
+        assert not metrics.enabled
+        with collecting() as m:
+            fedcons(feasible_system, 8)
+            assert m is metrics
+            assert m.counter("fedcons_invocations") == 1
+        assert not metrics.enabled
+
+    def test_hot_path_counters_flow(self, feasible_system):
+        with collecting() as m:
+            fedcons(feasible_system, 8)
+        counters = m.snapshot()["counters"]
+        assert counters["list_schedule_invocations"] >= 1
+        assert counters["minprocs_ls_runs"] >= 1
+        assert counters["partition_placement_attempts"] == 1
+        timers = m.snapshot()["timers"]
+        assert "fedcons.total_seconds" in timers
+        assert "fedcons.minprocs_seconds" in timers
+        assert "fedcons.partition_seconds" in timers
+
+
+class TestDecisionTrace:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+
+    def test_tracing_scopes_context(self):
+        with tracing() as ctx:
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_tracing_accepts_existing_context(self, feasible_system):
+        ctx = ObsContext()
+        with tracing(ctx):
+            fedcons(feasible_system, 8)
+        with tracing(ctx):
+            fedcons(feasible_system, 8)
+        # Two analyses accumulated into one trace.
+        assert len(ctx.events_of(PhaseComplete)) == 6
+
+    def test_minprocs_rejection_names_task_phase_and_bound(
+        self, overloaded_high_density
+    ):
+        with tracing() as ctx:
+            result = fedcons(overloaded_high_density, 1)
+        assert not result.success
+        assert result.reason is FailureReason.HIGH_DENSITY_PHASE
+        rejection = ctx.rejection
+        assert rejection is not None
+        assert rejection.phase == "minprocs"
+        assert rejection.task == "hungry"
+        # The violated bound: the task demands more than the 1 available.
+        assert rejection.detail["available"] == 1
+        assert rejection.detail["minimum_cluster"] > 1
+
+    def test_partition_rejection_names_task_phase_and_bound(
+        self, overloaded_low_density
+    ):
+        with tracing() as ctx:
+            result = fedcons(overloaded_low_density, 1)
+        assert not result.success
+        assert result.reason is FailureReason.PARTITION_PHASE
+        rejection = ctx.rejection
+        assert rejection is not None
+        assert rejection.phase == "partition"
+        assert rejection.task == result.failed_task.name
+        # Demand condition violated on the only processor.
+        assert rejection.detail["best_demand_slack"] < 0
+        assert len(rejection.detail["per_processor"]) == 1
+
+    def test_structural_rejection(self):
+        bad = TaskSystem(
+            [SporadicDAGTask(DAG.chain([5, 5]), 8, 20, name="bad")]
+        )
+        with tracing() as ctx:
+            result = fedcons(bad, 4)
+        assert result.reason is FailureReason.STRUCTURALLY_INFEASIBLE
+        assert ctx.rejection.phase == "validate"
+        assert ctx.rejection.task == "bad"
+        assert ctx.rejection.detail["margin"] < 0
+
+    def test_success_has_no_rejection_but_full_phase_record(
+        self, feasible_system
+    ):
+        with tracing() as ctx:
+            result = fedcons(feasible_system, 8)
+        assert result.success
+        assert ctx.rejection is None
+        phases = [e.phase for e in ctx.events_of(PhaseComplete)]
+        assert phases == ["validate", "minprocs", "partition"]
+        assert all(e.ok for e in ctx.events_of(PhaseComplete))
+        assert ctx.events_of(MinprocsStep)
+        assert ctx.events_of(PartitionAttempt)
+
+    def test_minprocs_steps_record_search(self, feasible_system):
+        with tracing() as ctx:
+            fedcons(feasible_system, 8)
+        steps = ctx.events_of(MinprocsStep)
+        assert all(s.task == "high" for s in steps)
+        assert steps[-1].fits  # the search ended on a fitting cluster
+        assert all(s.deadline == 8 for s in steps)
+
+    def test_trace_is_json_serializable(self, overloaded_low_density, tmp_path):
+        with tracing() as ctx:
+            fedcons(overloaded_low_density, 1)
+        path = tmp_path / "trace.json"
+        ctx.to_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["rejection"]["event"] == "Rejection"
+        assert doc["rejection"]["phase"] == "partition"
+        assert any(e["event"] == "PartitionAttempt" for e in doc["events"])
+
+    def test_zero_cost_when_disabled(self, feasible_system):
+        """No events are built or kept when no context is active."""
+        result = fedcons(feasible_system, 8)
+        assert result.success
+        assert current_context() is None
+
+
+class TestLogging:
+    def test_silent_by_default(self, feasible_system, capfd):
+        """With no configuration nothing reaches stderr (NullHandler)."""
+        fedcons(feasible_system, 8)
+        captured = capfd.readouterr()
+        assert captured.err == ""
+        assert captured.out == ""
+
+    def test_phase_boundary_records_at_info(self, feasible_system, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            fedcons(feasible_system, 8)
+        messages = [r.message for r in caplog.records]
+        assert any("minprocs phase done" in m for m in messages)
+        assert any("partition phase done" in m for m in messages)
+        assert any("FEDCONS ACCEPTED" in m for m in messages)
+        assert all(r.name.startswith("repro") for r in caplog.records)
+
+    def test_rejection_logged_at_info(self, overloaded_low_density, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            fedcons(overloaded_low_density, 1)
+        messages = [r.message for r in caplog.records]
+        assert any("PARTITION reject" in m for m in messages)
+        assert any("FEDCONS REJECTED" in m for m in messages)
+
+    def test_no_info_records_without_opt_in(self, feasible_system, caplog):
+        """The library stays below the default WARNING threshold."""
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            fedcons(feasible_system, 8)
+        assert caplog.records == []
+
+    def test_debug_shows_minprocs_search(self, feasible_system, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            fedcons(feasible_system, 8)
+        assert any("MINPROCS" in r.message for r in caplog.records)
+
+    def test_configure_logging_plain_and_idempotent(self, feasible_system):
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)  # must not duplicate
+        fedcons(feasible_system, 8)
+        lines = stream.getvalue().splitlines()
+        accepted = [ln for ln in lines if "FEDCONS ACCEPTED" in ln]
+        assert len(accepted) == 1
+
+    def test_configure_logging_json(self, feasible_system):
+        stream = io.StringIO()
+        configure_logging("INFO", json=True, stream=stream)
+        fedcons(feasible_system, 8)
+        lines = stream.getvalue().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert {"ts", "level", "logger", "message"} <= record.keys()
+        assert any(
+            "FEDCONS ACCEPTED" in json.loads(line)["message"] for line in lines
+        )
+
+    def test_configure_logging_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure_logging("LOUD")
+
+    def test_get_logger_nests_under_repro(self):
+        assert get_logger("myapp").name == "repro.myapp"
+        assert get_logger("repro.core.fedcons").name == "repro.core.fedcons"
+
+
+class TestSimulatorObservability:
+    def test_sim_counters_and_miss_logging(self, caplog):
+        from repro.sim.trace import Trace
+
+        trace = Trace()
+        with collecting() as m, caplog.at_level(
+            logging.WARNING, logger="repro"
+        ):
+            trace.job_released("t")
+            trace.job_completed("t", release=0.0, deadline=5.0, completion=7.0)
+        assert m.counter("sim_jobs_released") == 1
+        assert m.counter("sim_jobs_completed") == 1
+        assert m.counter("sim_deadline_misses") == 1
+        assert any("DEADLINE MISS" in r.message for r in caplog.records)
+
+    def test_deployment_simulation_counts_events(self, feasible_system):
+        from repro.sim.executor import simulate_deployment
+
+        deployment = fedcons(feasible_system, 8)
+        with collecting() as m:
+            report = simulate_deployment(deployment, horizon=50.0, rng=1)
+        assert report.ok
+        counters = m.snapshot()["counters"]
+        assert counters["sim_deployments"] == 1
+        assert counters["sim_events_processed"] >= 1
+        assert counters["sim_jobs_released"] == report.total_released
+        assert "sim.deployment_seconds" in m.snapshot()["timers"]
+
+
+class TestSweepObservability:
+    def test_sweep_point_timing_and_progress(self, caplog):
+        from repro.experiments.harness import acceptance_sweep
+        from repro.generation.tasksets import SystemConfig
+
+        config = SystemConfig(
+            tasks=4, processors=4, normalized_utilization=0.4,
+            min_vertices=4, max_vertices=8,
+        )
+        with collecting() as m, caplog.at_level(logging.INFO, logger="repro"):
+            points = acceptance_sweep(
+                config, [0.3, 0.5], ["FEDCONS"], samples=3, seed=1
+            )
+        assert len(points) == 2
+        assert m.timer("sweep.point_seconds").count == 2
+        assert m.counter("sweep_systems_generated") == 6
+        progress = [r for r in caplog.records if "sweep point" in r.message]
+        assert len(progress) == 2
+        assert "FEDCONS" in progress[0].message
+
+
+class TestCliObservability:
+    @pytest.fixture
+    def infeasible_partition_file(self, tmp_path):
+        from repro.model import save_system
+
+        system = TaskSystem(
+            [
+                SporadicDAGTask(
+                    DAG.chain([3]), deadline=4, period=10, name=f"t{i}"
+                )
+                for i in range(4)
+            ]
+        )
+        path = tmp_path / "overload.json"
+        save_system(system, path)
+        return str(path)
+
+    def test_explain_writes_decision_trace(
+        self, infeasible_partition_file, tmp_path, capsys
+    ):
+        from repro.cli import analyze_main
+
+        out = tmp_path / "why.json"
+        code = analyze_main(
+            [infeasible_partition_file, "-m", "1", "--explain", str(out)]
+        )
+        assert code == 1
+        doc = json.loads(out.read_text())
+        assert doc["success"] is False
+        assert doc["reason"] == "partition_phase"
+        assert doc["rejection"]["phase"] == "partition"
+        assert doc["rejection"]["task"].startswith("t")
+        assert doc["rejection"]["detail"]["best_demand_slack"] < 0
+        assert "decision trace written" in capsys.readouterr().out
+
+    def test_explain_on_accepted_system(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+        from repro.model import save_system
+
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.chain([1, 1]), 6, 12, name="low")]
+        )
+        path = tmp_path / "ok.json"
+        save_system(system, path)
+        out = tmp_path / "trace.json"
+        assert analyze_main([str(path), "-m", "2", "--explain", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["success"] is True
+        assert doc["rejection"] is None
+        assert [e["phase"] for e in doc["events"] if e["event"] == "PhaseComplete"] \
+            == ["validate", "minprocs", "partition"]
+
+    def test_simulate_metrics_export(self, tmp_path, capsys):
+        from repro.cli import simulate_main
+        from repro.model import save_system
+
+        system = TaskSystem(
+            [SporadicDAGTask(DAG.chain([1, 1]), 6, 12, name="low")]
+        )
+        path = tmp_path / "ok.json"
+        save_system(system, path)
+        out = tmp_path / "metrics.json"
+        code = simulate_main(
+            [str(path), "-m", "2", "--horizon", "60", "--metrics", str(out)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["counters"]["sim_deployments"] == 1
+        assert doc["counters"]["fedcons_invocations"] == 1
+
+    def test_runner_metrics_export(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["--experiment", "FIG1", "--quick", "--metrics", str(out)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert any(
+            name.startswith("experiment.FIG1") for name in doc["timers"]
+        )
+
+    def test_log_level_flag_emits_to_stderr(
+        self, infeasible_partition_file, capfd
+    ):
+        from repro.cli import analyze_main
+
+        analyze_main([infeasible_partition_file, "-m", "1", "--log-level", "INFO"])
+        # The managed handler writes to the real stderr.
+        assert "FEDCONS REJECTED" in capfd.readouterr().err
+
+    def test_json_logs_flag(self, infeasible_partition_file, capfd):
+        from repro.cli import analyze_main
+
+        analyze_main([infeasible_partition_file, "-m", "1", "--json-logs"])
+        err_lines = [
+            ln for ln in capfd.readouterr().err.splitlines() if ln.strip()
+        ]
+        assert err_lines
+        parsed = [json.loads(ln) for ln in err_lines]
+        assert any("FEDCONS REJECTED" in p["message"] for p in parsed)
