@@ -1,0 +1,105 @@
+"""Parallel-engine bench: serial-vs-parallel speedup and cache hit rates.
+
+Three timed configurations of the EXP-A quick acceptance sweep:
+
+* **serial-cold** -- ``jobs=1``, caches disabled: the historical baseline;
+* **parallel** -- ``jobs=min(4, cpu_count)``, caches disabled: pure
+  process-pool speedup, bit-identical tables required;
+* **serial-warm** -- ``jobs=1`` under :func:`repro.core.cache.caching`, run
+  twice: the second pass must serve DBF* demand values from the cache.
+
+The numbers land in ``benchmarks/BENCH_parallel.json`` so the speedup and
+hit-rate trajectory is comparable across PRs.  The >= 2x speedup criterion is
+asserted only on machines with >= 4 physical workers available; single-core
+CI containers still check the overhead bound and record their timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.cache import caches, caching
+from repro.experiments.runner import run_experiment
+
+ARTIFACT = Path(__file__).parent / "BENCH_parallel.json"
+
+_SAMPLES = 20
+_SEED = 0
+
+
+def _run(jobs: int):
+    started = time.perf_counter()
+    tables = run_experiment(
+        "EXP-A", samples=_SAMPLES, seed=_SEED, quick=True, jobs=jobs
+    )
+    return tables, time.perf_counter() - started
+
+
+def _csv_bytes(tables, directory: Path, tag: str) -> bytes:
+    blobs = []
+    for i, table in enumerate(tables):
+        path = directory / f"{tag}_{i}.csv"
+        table.to_csv(path)
+        blobs.append(path.read_bytes())
+    return b"".join(blobs)
+
+
+def test_bench_parallel(tmp_path, show):
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial_tables, serial_seconds = _run(jobs=1)
+    parallel_tables, parallel_seconds = _run(jobs=jobs)
+
+    # Determinism: parallel output must be byte-identical to serial output.
+    serial_csv = _csv_bytes(serial_tables, tmp_path, "serial")
+    parallel_csv = _csv_bytes(parallel_tables, tmp_path, "parallel")
+    assert parallel_csv == serial_csv
+
+    # Cache effectiveness: a warm second pass over the same grid serves DBF*
+    # demand values (and MINPROCS sizings) from the cache.
+    with caching() as active:
+        warm_tables, _ = _run(jobs=1)
+        active.reset_counters()
+        rewarm_tables, warm_seconds = _run(jobs=1)
+        cache_stats = active.stats()
+    assert _csv_bytes(warm_tables, tmp_path, "warm") == serial_csv
+    assert _csv_bytes(rewarm_tables, tmp_path, "rewarm") == serial_csv
+    assert cache_stats["dbf_star"]["hits"] > 0
+    assert cache_stats["dbf_star"]["hit_rate"] > 0.0
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "experiment": "EXP-A",
+                "samples": _SAMPLES,
+                "seed": _SEED,
+                "cpu_count": os.cpu_count(),
+                "jobs": jobs,
+                "serial_seconds": serial_seconds,
+                "parallel_seconds": parallel_seconds,
+                "speedup": speedup,
+                "warm_cached_serial_seconds": warm_seconds,
+                "csv_identical": True,
+                "cache": cache_stats,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    if jobs >= 4:
+        # The tentpole's acceptance criterion, on hardware that can show it.
+        assert speedup >= 2.0, (
+            f"jobs={jobs} speedup {speedup:.2f}x < 2x "
+            f"({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)"
+        )
+    else:
+        # Single-core container: parallel dispatch may not win, but its
+        # overhead must stay bounded.
+        assert parallel_seconds <= serial_seconds * 3.0
+
+    show(serial_tables)

@@ -1,0 +1,188 @@
+"""Memoization of the analysis hot paths (DBF* demand and MINPROCS sizing).
+
+The experiment stack re-evaluates the same pure functions over and over:
+``DBF*`` of a sporadic task at a test point (PARTITION probes every shared
+processor at every candidate deadline), and MINPROCS cluster sizing of a DAG
+(every re-analysis of a system replays the same List Scheduling search).
+Both are pure functions of their arguments, so this module provides a pair of
+bounded LRU caches:
+
+``dbf_star``
+    keyed by ``(C, D, T, t)`` -- the full argument tuple of
+    ``SporadicTask.dbf_approx``;
+``minprocs``
+    keyed by ``(DAG.digest(), D, order)`` -- one entry per analysed DAG task,
+    storing either the minimal fitting cluster (reusable for any processor
+    budget at or above it, since the first fitting ``mu`` does not depend on
+    the cap) or the largest budget known to be insufficient.
+
+Like :mod:`repro.obs.metrics`, the caches are **disabled by default** and
+hot paths guard every lookup with a plain attribute check, so the cost with
+caching off is one attribute load and a branch.  The parallel experiment
+engine enables them in its worker processes, ``fedcons-experiments`` enables
+them unless ``--no-cache`` is given, and benchmarks/tests enable them via
+:func:`caching`.
+
+Hit/miss/eviction counts are always tracked on the cache objects (cheap int
+adds) and additionally mirrored into the global
+:class:`~repro.obs.metrics.MetricsRegistry` (``cache.dbf_star.hits``, ...)
+whenever metrics collection is on, so worker-side cache behaviour survives
+the parent's metrics merge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.errors import AnalysisError
+from repro.obs.metrics import metrics as _metrics
+
+__all__ = ["MISSING", "LRUCache", "AnalysisCaches", "caches", "caching"]
+
+#: Sentinel returned by :meth:`LRUCache.get` on a miss.
+MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and counters."""
+
+    __slots__ = ("name", "maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        if maxsize < 1:
+            raise AnalysisError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Any:
+        """The cached value for *key*, or the :data:`MISSING` sentinel.
+
+        Counts the lookup and refreshes the entry's recency on a hit.
+        """
+        value = self._data.get(key, MISSING)
+        if value is MISSING:
+            self.misses += 1
+            if _metrics.enabled:
+                _metrics.incr(f"cache.{self.name}.misses")
+            return MISSING
+        self._data.move_to_end(key)
+        self.hits += 1
+        if _metrics.enabled:
+            _metrics.incr(f"cache.{self.name}.hits")
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert/overwrite *key*, evicting the oldest entry when full."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+            if _metrics.enabled:
+                _metrics.incr(f"cache.{self.name}.evictions")
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class AnalysisCaches:
+    """The process-wide pair of analysis caches plus the enable switch."""
+
+    def __init__(
+        self, dbf_star_size: int = 1 << 17, minprocs_size: int = 4096
+    ) -> None:
+        self.enabled = False
+        self.dbf_star = LRUCache("dbf_star", dbf_star_size)
+        self.minprocs = LRUCache("minprocs", minprocs_size)
+
+    def enable(self) -> None:
+        """Start serving (and filling) both caches."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop consulting the caches (entries are kept)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all entries of both caches."""
+        self.dbf_star.clear()
+        self.minprocs.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters of both caches."""
+        for cache in (self.dbf_star, self.minprocs):
+            cache.hits = cache.misses = cache.evictions = 0
+
+    def stats(self) -> dict:
+        """Per-cache size/hit/miss statistics (JSON-serialisable)."""
+        return {
+            "enabled": self.enabled,
+            "dbf_star": self.dbf_star.stats(),
+            "minprocs": self.minprocs.stats(),
+        }
+
+    # -- the memoized analyses -------------------------------------------
+
+    def dbf_star_value(self, task, t: float) -> float:
+        """Memoized ``task.dbf_approx(t)`` keyed by ``(C, D, T, t)``.
+
+        Pure memoization: the returned float is exactly the value the
+        uncached call produces, so cached and uncached analyses are
+        bit-identical.
+        """
+        key = (task.wcet, task.deadline, task.period, t)
+        value = self.dbf_star.get(key)
+        if value is MISSING:
+            value = task.dbf_approx(t)
+            self.dbf_star.put(key, value)
+        return value
+
+
+#: The process-wide caches every instrumented analysis consults.
+caches = AnalysisCaches()
+
+
+@contextmanager
+def caching(clear: bool = True) -> Iterator[AnalysisCaches]:
+    """Enable the global :data:`caches` for a scoped block.
+
+    With ``clear=True`` (default) the block starts from empty caches.  The
+    previous enabled state is restored afterwards.
+    """
+    was_enabled = caches.enabled
+    if clear:
+        caches.clear()
+    caches.enable()
+    try:
+        yield caches
+    finally:
+        caches.enabled = was_enabled

@@ -21,6 +21,7 @@ import math
 from collections.abc import Iterable, Sequence
 
 from repro.errors import AnalysisError
+from repro.core.cache import caches as _caches
 from repro.model.sporadic import SporadicTask
 from repro.obs.metrics import metrics as _metrics
 
@@ -46,9 +47,16 @@ def total_dbf(tasks: Iterable[SporadicTask], t: float) -> float:
 
 
 def total_dbf_approx(tasks: Iterable[SporadicTask], t: float) -> float:
-    """Approximate aggregate demand ``sum_i DBF*(tau_i, t)``."""
+    """Approximate aggregate demand ``sum_i DBF*(tau_i, t)``.
+
+    When the analysis caches (:mod:`repro.core.cache`) are enabled, each
+    per-task ``DBF*`` value is memoized by ``(C, D, T, t)``; summation order
+    is unchanged, so cached and uncached totals are bit-identical.
+    """
     if _metrics.enabled:
         _metrics.incr("dbf_star_evaluations")
+    if _caches.enabled:
+        return sum(_caches.dbf_star_value(task, t) for task in tasks)
     return sum(task.dbf_approx(t) for task in tasks)
 
 

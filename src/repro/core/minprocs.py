@@ -19,6 +19,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import AnalysisError
+from repro.core.cache import MISSING, caches as _caches
 from repro.core.list_scheduling import list_schedule
 from repro.core.schedule import Schedule
 from repro.model.dag import VertexId
@@ -92,6 +93,17 @@ def minprocs(
     if task.span > task.deadline:
         # No processor count can beat the critical path.
         return None
+    if _caches.enabled:
+        return _minprocs_cached(task, available, order)
+    return _minprocs_search(task, available, order)
+
+
+def _minprocs_search(
+    task: SporadicDAGTask,
+    available: int,
+    order: str | Sequence[VertexId],
+) -> MinProcsResult | None:
+    """The uncached MINPROCS search loop (validation already done)."""
     ctx = current_context()
     name = task.name or repr(task)
     start = max(1, math.ceil(task.density - 1e-12))
@@ -124,6 +136,52 @@ def minprocs(
         name, available, task.deadline,
     )
     return None
+
+
+def _minprocs_cached(
+    task: SporadicDAGTask,
+    available: int,
+    order: str | Sequence[VertexId],
+) -> MinProcsResult | None:
+    """MINPROCS answered from the analysis cache where possible.
+
+    The cache key is ``(DAG digest, deadline, order)`` -- deliberately *not*
+    the processor budget.  The search scans ``mu = start, start+1, ...`` and
+    stops at the first fitting cluster, so the minimal fitting ``mu*`` is a
+    property of the task alone: any budget ``>= mu*`` yields the same result
+    and any smaller budget yields ``None``.  A cached failure records the
+    largest budget searched; larger budgets re-run the search and upgrade
+    the entry.
+
+    Cached answers skip the per-``mu`` :class:`MinprocsStep` trace events and
+    ``minprocs_ls_runs`` counter updates (no List Scheduling actually runs);
+    the returned result is identical to the uncached one, including the
+    reconstructed ``attempts`` count.
+    """
+    key = (
+        task.dag.digest(),
+        task.deadline,
+        order if isinstance(order, str) else tuple(order),
+    )
+    start = max(1, math.ceil(task.density - 1e-12))
+    entry = _caches.minprocs.get(key)
+    if entry is not MISSING:
+        fitted, payload = entry
+        if fitted:
+            mu, schedule = payload
+            if mu <= available:
+                return MinProcsResult(
+                    processors=mu, schedule=schedule, attempts=mu - start + 1
+                )
+            return None
+        if available <= payload:  # searched this far before: nothing fits
+            return None
+    result = _minprocs_search(task, available, order)
+    if result is not None:
+        _caches.minprocs.put(key, (True, (result.processors, result.schedule)))
+    else:
+        _caches.minprocs.put(key, (False, available))
+    return result
 
 
 def minprocs_unbounded(

@@ -9,12 +9,12 @@ workloads.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.fedcons import fedcons
 from repro.core.partition import AdmissionTest, FitStrategy, TaskOrder
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -50,7 +50,7 @@ def run(samples: int = 150, seed: int = 0, quick: bool = False) -> list[Table]:
             normalized_utilization=u,
             max_vertices=15 if quick else 25,
         )
-        rng = np.random.default_rng(seed * 48271 + int(u * 1000))
+        rng = sample_rng(seed, f"EXP-F:U={u}", 0, 0)
         workloads[u] = [generate_system(cfg, rng) for _ in range(samples)]
 
     for order, fit, admission in combos:

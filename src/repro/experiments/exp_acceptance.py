@@ -21,7 +21,13 @@ __all__ = ["run", "UTILIZATION_GRID"]
 UTILIZATION_GRID = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
 
-def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
+def run(
+    samples: int = 200,
+    seed: int = 0,
+    quick: bool = False,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+) -> list[Table]:
     """FEDCONS acceptance vs U/m for m in {4, 8, 16}."""
     if quick:
         samples = min(samples, 25)
@@ -35,7 +41,8 @@ def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
             max_vertices=20 if quick else 30,
         )
         points = acceptance_sweep(
-            cfg, grid, ["FEDCONS"], samples=samples, seed=seed + m
+            cfg, grid, ["FEDCONS"], samples=samples, seed=seed + m,
+            jobs=jobs, chunk_size=chunk_size, exp_id=f"EXP-A:m={m}",
         )
         table = sweep_table(
             f"EXP-A: FEDCONS acceptance ratio vs normalized utilization "

@@ -12,7 +12,6 @@ headroom a genuine arbitrary-deadline analysis could reclaim.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.reporting import Table
 from repro.extensions.arbitrary_deadline import (
@@ -20,6 +19,7 @@ from repro.extensions.arbitrary_deadline import (
     stretch_deadlines,
 )
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -48,8 +48,8 @@ def run(samples: int = 100, seed: int = 0, quick: bool = False) -> list[Table]:
                 normalized_utilization=norm_util,
                 max_vertices=15 if quick else 25,
             )
-            rng = np.random.default_rng(
-                seed * 7907 + int(stretch[1] * 10) * 100 + int(norm_util * 100)
+            rng = sample_rng(
+                seed, f"EXT-H:stretch={stretch[1]}:U={norm_util}", 0, 0
             )
             systems = [
                 stretch_deadlines(generate_system(cfg, rng), stretch, rng)

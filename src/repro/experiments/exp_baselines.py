@@ -23,6 +23,7 @@ from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
 from repro.model.task import SporadicDAGTask
 from repro.model.taskset import TaskSystem
+from repro.parallel.engine import GridSpec, run_grid
 
 __all__ = ["run"]
 
@@ -37,7 +38,31 @@ def _implicit_restriction(system: TaskSystem) -> TaskSystem:
     )
 
 
-def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
+def _implicit_sample(
+    common: tuple[SystemConfig, int],
+    point: float,
+    rng: np.random.Generator,
+    point_index: int,
+    sample_index: int,
+) -> tuple[bool, bool]:
+    """One head-to-head vote pair (module-level for worker dispatch)."""
+    cfg, m = common
+    system = _implicit_restriction(
+        generate_system(cfg.with_utilization(point), rng)
+    )
+    return (
+        bool(fedcons(system, m).success),
+        bool(federated_implicit(system, m).success),
+    )
+
+
+def run(
+    samples: int = 200,
+    seed: int = 0,
+    quick: bool = False,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+) -> list[Table]:
     """Acceptance sweep of FEDCONS and every baseline on shared workloads."""
     if quick:
         samples = min(samples, 25)
@@ -49,7 +74,10 @@ def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
         max_vertices=20 if quick else 30,
     )
     grid = _GRID if not quick else _GRID[::2]
-    points = acceptance_sweep(cfg, grid, _ALGORITHMS, samples=samples, seed=seed)
+    points = acceptance_sweep(
+        cfg, grid, _ALGORITHMS, samples=samples, seed=seed,
+        jobs=jobs, chunk_size=chunk_size, exp_id="EXP-B:main",
+    )
     main = sweep_table(
         f"EXP-B: acceptance ratio, FEDCONS vs baselines (m={m}, constrained "
         "deadlines)",
@@ -67,17 +95,18 @@ def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
         title=f"EXP-B: implicit-deadline restriction head-to-head (m={m})",
         columns=["U/m (target)", "FEDCONS", "Li et al. federated"],
     )
-    for norm_util in grid:
-        rng = np.random.default_rng(seed * 31337 + int(norm_util * 1000))
-        fed = li = 0
-        for _ in range(samples):
-            system = _implicit_restriction(
-                generate_system(cfg.with_utilization(norm_util), rng)
-            )
-            if fedcons(system, m).success:
-                fed += 1
-            if federated_implicit(system, m).success:
-                li += 1
+    spec = GridSpec(
+        evaluator="repro.experiments.exp_baselines:_implicit_sample",
+        exp_id="EXP-B:implicit",
+        points=tuple(grid),
+        samples=samples,
+        root_seed=seed,
+        common=(cfg, m),
+    )
+    outcomes = run_grid(spec, jobs=jobs, chunk_size=chunk_size)
+    for norm_util, votes in zip(grid, outcomes):
+        fed = sum(1 for f, _ in votes if f)
+        li = sum(1 for _, l in votes if l)
         implicit.add_row(norm_util, fed / samples, li / samples)
     implicit.notes.append(
         "On implicit deadlines the two algorithms see the same high/low "

@@ -21,6 +21,7 @@ from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.extensions.fixed_priority_pool import fedcons_fp
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -47,7 +48,7 @@ def run(samples: int = 60, seed: int = 0, quick: bool = False) -> list[Table]:
     )
     decisions = _decisions(m)
     breakdowns: dict[str, list[float]] = {name: [] for name in decisions}
-    rng = np.random.default_rng(seed * 15485863 + 7)
+    rng = sample_rng(seed, "EXP-J", 0, 0)
     unschedulable = {name: 0 for name in decisions}
     for _ in range(samples):
         system = generate_system(cfg, rng)

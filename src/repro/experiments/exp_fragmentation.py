@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -56,7 +57,7 @@ def run(samples: int = 60, seed: int = 0, quick: bool = False) -> list[Table]:
             deadline_ratio=ratio,
             max_vertices=12 if quick else 20,
         )
-        rng = np.random.default_rng(seed * 104395301 % (2**31) + int(ratio[0] * 100))
+        rng = sample_rng(seed, f"EXP-O:{label}", 0, 0)
         sizes: list[int] = []
         utilized: list[float] = []
         template_idle: list[float] = []

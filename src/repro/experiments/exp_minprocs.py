@@ -20,6 +20,7 @@ from repro.experiments.reporting import Table
 from repro.generation.dag_generators import erdos_renyi_dag
 from repro.generation.parameters import uniform_wcet_sampler
 from repro.model.task import SporadicDAGTask
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run", "optimal_cluster_size"]
 
@@ -40,7 +41,7 @@ def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
     """Cluster-size ratios across deadline tightness levels."""
     if quick:
         samples = min(samples, 40)
-    rng = np.random.default_rng(seed * 104729 + 1)
+    rng = sample_rng(seed, "LEM1:ratios", 0, 0)
     sampler = uniform_wcet_sampler(1, 20)
 
     ratio_table = Table(
@@ -89,7 +90,7 @@ def run(samples: int = 200, seed: int = 0, quick: bool = False) -> list[Table]:
         columns=["samples", "m_i == opt", "m_i == opt+1", "m_i >= opt+2"],
     )
     exact_samples = 20 if quick else 100
-    rng2 = np.random.default_rng(seed * 104729 + 2)
+    rng2 = sample_rng(seed, "LEM1:optimal", 0, 0)
     equal = plus_one = worse = 0
     produced = 0
     while produced < exact_samples:

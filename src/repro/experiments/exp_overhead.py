@@ -14,11 +14,11 @@ stops being a field guarantee.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 from repro.sim.executor import simulate_deployment
 from repro.sim.workload import ReleasePattern
 
@@ -38,7 +38,7 @@ def run(samples: int = 30, seed: int = 0, quick: bool = False) -> list[Table]:
         normalized_utilization=0.55,  # loaded enough for slack to matter
         max_vertices=12 if quick else 20,
     )
-    rng = np.random.default_rng(seed * 49979693 + 3)
+    rng = sample_rng(seed, "EXP-K:generate", 0, 0)
     deployments = []
     while len(deployments) < samples:
         system = generate_system(cfg, rng)
@@ -70,7 +70,7 @@ def run(samples: int = 30, seed: int = 0, quick: bool = False) -> list[Table]:
             report = simulate_deployment(
                 deployment,
                 horizon=5.0 * max(t.period for t in system),
-                rng=np.random.default_rng(seed * 31 + idx),
+                rng=sample_rng(seed, "EXP-K:replay", 0, idx),
                 pattern=ReleasePattern.PERIODIC,
                 preemption_overhead=overhead,
             )

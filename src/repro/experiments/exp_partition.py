@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.partition import AdmissionTest, partition
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 from repro.model.taskset import TaskSystem
 
 __all__ = ["run", "generate_low_density_system"]
@@ -62,7 +63,7 @@ def run(samples: int = 100, seed: int = 0, quick: bool = False) -> list[Table]:
             deadline_ratio=(0.5, 0.9),
             max_vertices=15,
         )
-        rng = np.random.default_rng(seed * 65537 + int(norm_util * 100))
+        rng = sample_rng(seed, f"LEM2:U={norm_util}", 0, 0)
         accepted = {test: 0 for test in AdmissionTest}
         for _ in range(samples):
             system = generate_low_density_system(cfg, rng)

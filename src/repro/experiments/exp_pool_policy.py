@@ -14,12 +14,12 @@ beats the *exact* DM admission.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.extensions.fixed_priority_pool import FpAdmission, fedcons_fp
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -46,7 +46,7 @@ def run(samples: int = 150, seed: int = 0, quick: bool = False) -> list[Table]:
             normalized_utilization=norm_util,
             max_vertices=15 if quick else 25,
         )
-        rng = np.random.default_rng(seed * 92821 + int(norm_util * 1000))
+        rng = sample_rng(seed, f"EXP-I:U={norm_util}", 0, 0)
         counts = {"edf": 0, "dm_exact": 0, "dm_rbf": 0}
         for _ in range(samples):
             system = generate_system(cfg, rng)

@@ -19,6 +19,7 @@ from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.extensions.reservations import plan_reservations
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -36,7 +37,7 @@ def run(samples: int = 40, seed: int = 0, quick: bool = False) -> list[Table]:
         normalized_utilization=0.45,
         max_vertices=12 if quick else 20,
     )
-    rng = np.random.default_rng(seed * 86028121 + 11)
+    rng = sample_rng(seed, "EXP-L", 0, 0)
     deployments = []
     while len(deployments) < samples:
         system = generate_system(cfg, rng)

@@ -18,6 +18,7 @@ from repro.analysis.response_time import deployment_response_bounds
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -46,7 +47,7 @@ def run(samples: int = 60, seed: int = 0, quick: bool = False) -> list[Table]:
             normalized_utilization=norm_util,
             max_vertices=12 if quick else 20,
         )
-        rng = np.random.default_rng(seed * 67867967 + int(norm_util * 100))
+        rng = sample_rng(seed, f"EXP-N:U={norm_util}", 0, 0)
         dedicated: list[float] = []
         pool: list[float] = []
         collected = 0

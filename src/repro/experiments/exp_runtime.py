@@ -11,17 +11,17 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
 
 def _time_analysis(cfg: SystemConfig, samples: int, seed: int) -> float:
-    rng = np.random.default_rng(seed)
+    rng = sample_rng(seed, "EXP-G", 0, 0)
     systems = [generate_system(cfg, rng) for _ in range(samples)]
     start = time.perf_counter()
     for system in systems:

@@ -11,11 +11,11 @@ the analysis leaves.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 from repro.sim.executor import simulate_deployment
 from repro.sim.workload import ExecutionTimeModel, ReleasePattern
 
@@ -48,7 +48,7 @@ def run(samples: int = 40, seed: int = 0, quick: bool = False) -> list[Table]:
         normalized_utilization=0.5,
         max_vertices=15 if quick else 25,
     )
-    rng = np.random.default_rng(seed * 2654435761 % (2**32))
+    rng = sample_rng(seed, "EXP-E:generate", 0, 0)
     deployments = []
     while len(deployments) < samples:
         system = generate_system(cfg, rng)
@@ -75,7 +75,7 @@ def run(samples: int = 40, seed: int = 0, quick: bool = False) -> list[Table]:
             report = simulate_deployment(
                 deployment,
                 horizon=horizon,
-                rng=np.random.default_rng(seed * 97 + i),
+                rng=sample_rng(seed, "EXP-E:replay", 0, i),
                 pattern=pattern,
                 exec_model=exec_model,
             )

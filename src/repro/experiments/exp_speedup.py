@@ -20,11 +20,44 @@ from repro.analysis.speedup import (
 )
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.engine import GridSpec, run_grid
 
 __all__ = ["run"]
 
+_PLATFORMS = (2, 4, 8)
 
-def run(samples: int = 50, seed: int = 0, quick: bool = False) -> list[Table]:
+
+def _speedup_sample(
+    common: int,
+    point: int,
+    rng: np.random.Generator,
+    point_index: int,
+    sample_index: int,
+) -> float:
+    """One measured speedup ratio (module-level for worker dispatch).
+
+    *common* carries the DAG size cap, *point* the platform size ``m``; the
+    ratio may be non-finite (infeasible instance) and is filtered by the
+    aggregation.
+    """
+    m = point
+    cfg = SystemConfig(
+        tasks=max(3, m // 2 + 2),
+        processors=m,
+        normalized_utilization=0.4,
+        max_vertices=common,
+    )
+    system = generate_system(cfg, rng)
+    return float(empirical_speedup_factor(system, m, tolerance=1e-2))
+
+
+def run(
+    samples: int = 50,
+    seed: int = 0,
+    quick: bool = False,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+) -> list[Table]:
     """Distribution of measured speedup ratios across platform sizes."""
     if quick:
         samples = min(samples, 10)
@@ -33,20 +66,17 @@ def run(samples: int = 50, seed: int = 0, quick: bool = False) -> list[Table]:
         "(Theorem 1 bound: 3 - 1/m)",
         columns=["m", "samples", "mean", "p95", "max", "bound 3-1/m"],
     )
-    for m in (2, 4, 8):
-        cfg = SystemConfig(
-            tasks=max(3, m // 2 + 2),
-            processors=m,
-            normalized_utilization=0.4,
-            max_vertices=15 if quick else 25,
-        )
-        rng = np.random.default_rng(seed * 7919 + m)
-        ratios: list[float] = []
-        for _ in range(samples):
-            system = generate_system(cfg, rng)
-            ratio = empirical_speedup_factor(system, m, tolerance=1e-2)
-            if math.isfinite(ratio):
-                ratios.append(ratio)
+    spec = GridSpec(
+        evaluator="repro.experiments.exp_speedup:_speedup_sample",
+        exp_id="THM1",
+        points=_PLATFORMS,
+        samples=samples,
+        root_seed=seed,
+        common=15 if quick else 25,
+    )
+    outcomes = run_grid(spec, jobs=jobs, chunk_size=chunk_size)
+    for m, all_ratios in zip(_PLATFORMS, outcomes):
+        ratios = [r for r in all_ratios if math.isfinite(r)]
         data = np.asarray(ratios)
         table.add_row(
             m,

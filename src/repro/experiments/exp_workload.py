@@ -17,6 +17,7 @@ import numpy as np
 from repro.experiments.exp_deadline_ratio import RATIO_RANGES
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
 
@@ -45,7 +46,7 @@ def run(samples: int = 100, seed: int = 0, quick: bool = False) -> list[Table]:
             deadline_ratio=ratio,
             max_vertices=15 if quick else 25,
         )
-        rng = np.random.default_rng(seed * 22801763489 % (2**31) + int(ratio[0] * 100))
+        rng = sample_rng(seed, f"EXP-M:{label}", 0, 0)
         high = 0
         total = 0
         densities: list[float] = []

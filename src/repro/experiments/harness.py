@@ -4,6 +4,11 @@ An *algorithm* here is any schedulability decision: a callable taking a
 :class:`~repro.model.TaskSystem` and a processor count and returning a bool.
 The registry exposes FEDCONS, its baselines, and the individual global-EDF
 tests under the names the experiment tables use.
+
+Sweeps run through :mod:`repro.parallel`: every ``(point, sample)`` cell of
+the grid draws from its own derived seed and may be evaluated by a worker
+process (``jobs > 1``) or in-process (``jobs = 1``, the default) -- both
+paths produce bit-identical tables.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.generation.tasksets import SystemConfig, generate_system
 from repro.model.taskset import TaskSystem
 from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
+from repro.parallel.engine import GridSpec, run_grid
 
 __all__ = ["ALGORITHMS", "SweepPoint", "acceptance_sweep", "sweep_table"]
 
@@ -65,18 +71,56 @@ class SweepPoint:
     acceptance: dict[str, float]
 
 
+def _acceptance_sample(
+    common: tuple[SystemConfig, tuple[str, ...]],
+    point: float,
+    rng: np.random.Generator,
+    point_index: int,
+    sample_index: int,
+) -> tuple[float, tuple[bool, ...]]:
+    """Per-sample evaluator: generate one system, let every algorithm vote.
+
+    Module-level so the parallel engine can resolve it by name inside worker
+    processes; returns ``(achieved U/m, votes-in-algorithm-order)``.
+    """
+    config, algorithms = common
+    cfg = config.with_utilization(point)
+    system = generate_system(cfg, rng)
+    if _metrics.enabled:
+        _metrics.incr("sweep_systems_generated")
+    achieved = system.total_utilization / cfg.processors
+    return achieved, tuple(
+        bool(ALGORITHMS[name](system, cfg.processors)) for name in algorithms
+    )
+
+
 def acceptance_sweep(
     config: SystemConfig,
     utilizations: Sequence[float],
     algorithms: Sequence[str],
     samples: int,
     seed: int = 0,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+    exp_id: str = "sweep",
 ) -> list[SweepPoint]:
     """Acceptance ratio of each algorithm across a normalized-utilization sweep.
 
     For every target ``U_sum / m`` in *utilizations*, *samples* random
-    systems are generated (seeded deterministically per point so points are
-    independent and reproducible) and each algorithm votes on each system.
+    systems are generated -- each from its own seed derived from
+    ``(seed, exp_id, point, sample)``, so every cell of the grid is
+    independent and reproducible -- and each algorithm votes on each system.
+
+    Parameters beyond the historical ones:
+
+    jobs:
+        Worker processes (``1`` = in-process serial evaluation; ``None`` or
+        ``0`` = every core).  The reported numbers do not depend on this.
+    chunk_size:
+        Samples per dispatched chunk when ``jobs > 1``.
+    exp_id:
+        Seed-derivation namespace; two sweeps with different ids draw
+        disjoint random streams under the same *seed*.
     """
     unknown = [name for name in algorithms if name not in ALGORITHMS]
     if unknown:
@@ -85,18 +129,24 @@ def acceptance_sweep(
         )
     if samples < 1:
         raise AnalysisError(f"samples must be >= 1, got {samples}")
+    sweep_start = time.perf_counter()
+    spec = GridSpec(
+        evaluator="repro.experiments.harness:_acceptance_sample",
+        exp_id=exp_id,
+        points=tuple(utilizations),
+        samples=samples,
+        root_seed=seed,
+        common=(config, tuple(algorithms)),
+    )
+    outcomes = run_grid(spec, jobs=jobs, chunk_size=chunk_size)
     points: list[SweepPoint] = []
     for j, norm_util in enumerate(utilizations):
-        point_start = time.perf_counter()
-        cfg = config.with_utilization(norm_util)
-        rng = np.random.default_rng(seed * 1_000_003 + j)
         accepted = {name: 0 for name in algorithms}
         achieved_total = 0.0
-        for _ in range(samples):
-            system = generate_system(cfg, rng)
-            achieved_total += system.total_utilization / cfg.processors
-            for name in algorithms:
-                if ALGORITHMS[name](system, cfg.processors):
+        for achieved, votes in outcomes[j]:
+            achieved_total += achieved
+            for name, vote in zip(algorithms, votes):
+                if vote:
                     accepted[name] += 1
         points.append(
             SweepPoint(
@@ -108,18 +158,21 @@ def acceptance_sweep(
                 },
             )
         )
-        point_elapsed = time.perf_counter() - point_start
-        if _metrics.enabled:
-            _metrics.record_time("sweep.point_seconds", point_elapsed)
-            _metrics.incr("sweep_systems_generated", samples)
         _log.info(
-            "sweep point %d/%d U/m=%.3f: %s (%d samples, %.2fs)",
+            "sweep point %d/%d U/m=%.3f: %s (%d samples)",
             j + 1, len(utilizations), norm_util,
             ", ".join(
                 f"{name}={accepted[name] / samples:.2f}" for name in algorithms
             ),
-            samples, point_elapsed,
+            samples,
         )
+    sweep_elapsed = time.perf_counter() - sweep_start
+    if _metrics.enabled:
+        _metrics.record_time("sweep.total_seconds", sweep_elapsed)
+    _log.info(
+        "sweep %s: %d points x %d samples in %.2fs",
+        exp_id, len(points), samples, sweep_elapsed,
+    )
     return points
 
 

@@ -4,6 +4,7 @@ Usage (installed as ``fedcons-experiments``)::
 
     fedcons-experiments --list
     fedcons-experiments --experiment EXP-A --quick
+    fedcons-experiments --experiment EXP-A --jobs 4   # same tables, faster
     fedcons-experiments --all --samples 100 --out results/
 
 Each experiment prints its ASCII tables to stdout; with ``--out`` the tables
@@ -13,10 +14,13 @@ are also written as CSV files named after the experiment.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from collections.abc import Callable
 from pathlib import Path
+
+from repro.core.cache import caches
 
 from repro.experiments import (
     exp_ablation_partition,
@@ -80,8 +84,15 @@ def run_experiment(
     samples: int | None = None,
     seed: int = 0,
     quick: bool = False,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
 ) -> list[Table]:
-    """Run one experiment by id and return its tables."""
+    """Run one experiment by id and return its tables.
+
+    *jobs* / *chunk_size* are forwarded to experiments whose ``run`` accepts
+    them (the sweep-shaped ones: EXP-A, EXP-B, THM1); the rest run serially
+    regardless.  Results never depend on the worker count.
+    """
     try:
         _, runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -91,6 +102,10 @@ def run_experiment(
     kwargs: dict = {"seed": seed, "quick": quick}
     if samples is not None:
         kwargs["samples"] = samples
+    parameters = inspect.signature(runner).parameters
+    if "jobs" in parameters:
+        kwargs["jobs"] = jobs
+        kwargs["chunk_size"] = chunk_size
     return runner(**kwargs)
 
 
@@ -118,6 +133,21 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="small sample counts for smoke runs"
     )
     parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the sweep experiments (0 = every core; "
+        "1 = serial, the default; results are identical for every N)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="samples per dispatched chunk when --jobs > 1 "
+        "(default: grid size / (jobs * 4))",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the DBF*/MINPROCS analysis caches "
+        "(they are value-transparent; this only affects speed)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None, help="directory for CSV output"
     )
     parser.add_argument(
@@ -137,33 +167,45 @@ def main(argv: list[str] | None = None) -> int:
     targets = list(EXPERIMENTS) if args.all else args.experiment
     if not targets:
         parser.error("nothing to do: pass --experiment, --all, or --list")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     if args.metrics is not None:
         metrics.reset()
         metrics.enable()
+    cache_was_enabled = caches.enabled
+    if not args.no_cache:
+        caches.enable()
 
-    for target in targets:
-        started = time.perf_counter()
-        _log.info("experiment %s starting", target)
-        try:
-            tables = run_experiment(
-                target, samples=args.samples, seed=args.seed, quick=args.quick
-            )
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - started
-        metrics.record_time(f"experiment.{target}.seconds", elapsed)
-        _log.info("experiment %s finished in %.1fs", target, elapsed)
-        for i, table in enumerate(tables):
-            print(table.render())
+    try:
+        for target in targets:
+            started = time.perf_counter()
+            _log.info("experiment %s starting", target)
+            try:
+                tables = run_experiment(
+                    target, samples=args.samples, seed=args.seed,
+                    quick=args.quick, jobs=args.jobs,
+                    chunk_size=args.chunk_size,
+                )
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            elapsed = time.perf_counter() - started
+            metrics.record_time(f"experiment.{target}.seconds", elapsed)
+            _log.info("experiment %s finished in %.1fs", target, elapsed)
+            for i, table in enumerate(tables):
+                print(table.render())
+                print()
+                if args.out is not None:
+                    safe = target.replace("-", "_").lower()
+                    table.to_csv(args.out / f"{safe}_{i}.csv")
+            print(f"[{target} finished in {elapsed:.1f}s]")
             print()
-            if args.out is not None:
-                safe = target.replace("-", "_").lower()
-                table.to_csv(args.out / f"{safe}_{i}.csv")
-        print(f"[{target} finished in {elapsed:.1f}s]")
-        print()
+    finally:
+        caches.enabled = cache_was_enabled
     if args.metrics is not None:
         try:
             metrics.to_json(args.metrics)

@@ -22,6 +22,7 @@ this package use small integers.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import Any
@@ -70,6 +71,7 @@ class DAG:
         "_volume",
         "_longest",
         "_hash",
+        "_digest",
     )
 
     def __init__(
@@ -105,6 +107,7 @@ class DAG:
         self._volume = float(sum(self._wcets.values()))
         self._longest = self._compute_longest_chain()
         self._hash: int | None = None
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -241,6 +244,31 @@ class DAG:
             f"DAG(|V|={len(self._wcets)}, |E|={sum(len(s) for s in self._succ.values())}, "
             f"vol={self._volume:g}, len={self._longest:g})"
         )
+
+    def digest(self) -> str:
+        """A canonical content digest of this DAG (hex string).
+
+        Equal DAGs (same vertex identifiers, WCETs and edge set, regardless
+        of construction order) produce equal digests, so the digest is usable
+        as a stable cache key for per-DAG analysis results -- unlike
+        ``hash()``, it does not vary between interpreter runs under hash
+        randomisation.  Vertices are canonicalised through ``repr``; distinct
+        vertex objects with identical reprs would collide, which never occurs
+        for the int/str identifiers this package uses.
+        """
+        if self._digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            for v, w in sorted(
+                self._wcets.items(), key=lambda item: repr(item[0])
+            ):
+                hasher.update(f"v{v!r}:{w!r};".encode())
+            for u, v in sorted(
+                ((u, v) for u, vs in self._succ.items() for v in vs),
+                key=lambda edge: (repr(edge[0]), repr(edge[1])),
+            ):
+                hasher.update(f"e{u!r}>{v!r};".encode())
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     # ------------------------------------------------------------------
     # structural computations

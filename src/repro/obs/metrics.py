@@ -3,7 +3,7 @@
 A :class:`MetricsRegistry` holds named monotonically-increasing **counters**
 (``dbf_star_evaluations``, ``list_schedule_invocations``,
 ``sim_events_processed``, ...) and **timers** that accumulate wall-clock
-durations (``fedcons.total_seconds``, ``sweep.point_seconds``, ...).
+durations (``fedcons.total_seconds``, ``sweep.total_seconds``, ...).
 
 The registry is *disabled* by default and instrumented hot paths guard every
 update with a plain attribute check::
@@ -49,6 +49,13 @@ class TimerStats:
     def mean(self) -> float:
         """Mean observed duration (0 when nothing was observed)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, count: int, total: float, maximum: float) -> None:
+        """Fold another accumulation (e.g. a worker's) into this one."""
+        self.count += count
+        self.total += total
+        if maximum > self.max:
+            self.max = maximum
 
     def to_dict(self) -> dict:
         return {
@@ -132,6 +139,24 @@ class MetricsRegistry:
         """Drop all collected values (the enabled flag is unchanged)."""
         self._counters.clear()
         self._timers.clear()
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Used by the parallel experiment engine to aggregate the counters and
+        timers collected inside worker processes into the parent's registry.
+        Merging is unconditional (it is an explicit aggregation step, not a
+        hot-path update), so it works even while collection is disabled.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, stats in snapshot.get("timers", {}).items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = self._timers[name] = TimerStats()
+            mine.merge(
+                stats["count"], stats["total_seconds"], stats["max_seconds"]
+            )
 
     # -- export ------------------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""Parallel experiment execution: deterministic seeds + a process-pool engine.
+
+``repro.parallel`` makes the evaluation loops of the experiment stack run on
+every core without changing a single reported number:
+
+* :mod:`repro.parallel.seeds` derives an independent random stream for every
+  ``(root_seed, experiment, point, sample)`` coordinate, so a sample's task
+  system no longer depends on how many samples ran before it;
+* :mod:`repro.parallel.engine` partitions the flattened grid into chunks,
+  dispatches them over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  re-assembles outcomes into grid order (bit-identical float reductions) and
+  merges worker metrics snapshots into the parent registry.
+
+See ``docs/PARALLEL.md`` for the design and the ``--jobs`` /
+``--chunk-size`` CLI knobs.
+"""
+
+from repro.parallel.engine import (
+    GridSpec,
+    SampleEvaluator,
+    effective_jobs,
+    run_grid,
+)
+from repro.parallel.seeds import (
+    derive_seed,
+    experiment_entropy,
+    sample_rng,
+    seed_sequence,
+)
+
+__all__ = [
+    "GridSpec",
+    "SampleEvaluator",
+    "effective_jobs",
+    "run_grid",
+    "derive_seed",
+    "experiment_entropy",
+    "sample_rng",
+    "seed_sequence",
+]

@@ -1,0 +1,62 @@
+"""Golden regression tests: committed CSV snapshots of the deterministic
+experiments (FIG1, EX2) must match what the runner produces today, byte for
+byte.
+
+Both experiments are RNG-free reconstructions of the paper's worked examples
+(Figure 1 quantities, the Example 2 witness family), so their tables are a
+pure function of the analysis code.  Any diff here means an algorithm change
+altered paper-facing numbers -- which must be a deliberate, reviewed event.
+The snapshots in ``tests/data/`` were generated with::
+
+    python -m repro.experiments.runner --experiment FIG1 --experiment EX2 \\
+        --out tests/data
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import main
+
+DATA = Path(__file__).parent / "data"
+
+GOLDEN_FILES = ["fig1_0.csv", "fig1_1.csv", "ex2_0.csv"]
+
+
+@pytest.fixture(scope="module")
+def regenerated(tmp_path_factory) -> Path:
+    out = tmp_path_factory.mktemp("golden")
+    exit_code = main(
+        ["--experiment", "FIG1", "--experiment", "EX2", "--out", str(out)]
+    )
+    assert exit_code == 0
+    return out
+
+
+class TestGoldenSnapshots:
+    def test_snapshots_are_committed(self):
+        for name in GOLDEN_FILES:
+            assert (DATA / name).is_file(), f"missing golden snapshot {name}"
+
+    @pytest.mark.parametrize("name", GOLDEN_FILES)
+    def test_runner_output_matches_snapshot(self, regenerated, name):
+        produced = (regenerated / name).read_bytes()
+        expected = (DATA / name).read_bytes()
+        assert produced == expected, (
+            f"{name} drifted from the committed golden snapshot; if the "
+            "change is intentional, regenerate tests/data/ (see module "
+            "docstring) and commit the diff"
+        )
+
+    def test_no_unexpected_outputs(self, regenerated):
+        assert sorted(p.name for p in regenerated.iterdir()) == sorted(
+            GOLDEN_FILES
+        )
+
+    def test_snapshot_contents_sane(self):
+        fig1 = (DATA / "fig1_0.csv").read_text()
+        assert fig1.splitlines()[0].startswith('"# FIG1')
+        ex2 = (DATA / "ex2_0.csv").read_text()
+        assert "required speed" in ex2

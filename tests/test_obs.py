@@ -365,7 +365,7 @@ class TestSweepObservability:
                 config, [0.3, 0.5], ["FEDCONS"], samples=3, seed=1
             )
         assert len(points) == 2
-        assert m.timer("sweep.point_seconds").count == 2
+        assert m.timer("sweep.total_seconds").count == 1
         assert m.counter("sweep_systems_generated") == 6
         progress = [r for r in caplog.records if "sweep point" in r.message]
         assert len(progress) == 2

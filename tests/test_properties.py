@@ -6,7 +6,9 @@ These encode the theorems/structural facts the library rests on:
 * Graham's bound holds for every LS run on every DAG and priority order;
 * FEDCONS soundness: acceptance implies template validity, disjoint
   clusters, and exact-EDF-schedulable shared processors;
-* uniprocessor EDF simulation agrees with the exact processor-demand test.
+* uniprocessor EDF simulation agrees with the exact processor-demand test;
+* the analysis caches are transparent: cached DBF*/MINPROCS answers equal
+  the uncached ones on arbitrary random tasks.
 """
 
 from __future__ import annotations
@@ -17,8 +19,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dbf import edf_approx_test, edf_exact_test
+from repro.core.cache import caching
+from repro.core.dbf import edf_approx_test, edf_exact_test, total_dbf_approx
 from repro.core.fedcons import fedcons
+from repro.core.minprocs import minprocs
 from repro.core.list_scheduling import (
     PRIORITY_ORDERS,
     graham_makespan_bound,
@@ -222,3 +226,68 @@ class TestFedconsProperties:
         )
         if fedcons(system, m).success:
             assert fedcons(system.scaled(2.0), m).success
+
+
+# ---------------------------------------------------------------------------
+# cache transparency: memoization never changes an analysis answer
+# ---------------------------------------------------------------------------
+
+
+class TestCacheTransparency:
+    @given(sporadic_sets(), st.floats(min_value=0, max_value=200))
+    @settings(max_examples=80, deadline=None)
+    def test_cached_dbf_star_equals_uncached(self, tasks, t):
+        plain = total_dbf_approx(tasks, t)
+        with caching():
+            cold = total_dbf_approx(tasks, t)
+            warm = total_dbf_approx(tasks, t)  # served from cache
+        assert cold == plain  # bit-identical, not approx
+        assert warm == plain
+
+    @given(dag_tasks(), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_cached_minprocs_equals_uncached(self, task, m):
+        plain = minprocs(task, m)
+        with caching():
+            cold = minprocs(task, m)
+            warm = minprocs(task, m)  # second call hits the digest key
+        for cached in (cold, warm):
+            if plain is None:
+                assert cached is None
+            else:
+                assert cached is not None
+                assert cached.processors == plain.processors
+                assert cached.attempts == plain.attempts
+                assert cached.schedule.slots == plain.schedule.slots
+
+    @given(dag_tasks(), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_cached_minprocs_budget_monotone(self, task, m):
+        """A warm cache answers any budget consistently with a cold search.
+
+        This exercises the key design point of the MINPROCS cache: the entry
+        is keyed by the task (not the budget), so one warm entry must answer
+        smaller *and* larger budgets exactly as a fresh search would.
+        """
+        with caching():
+            minprocs(task, m)  # warm the entry at budget m
+            for budget in (0, max(0, m - 1), m, m + 1, m + 4):
+                cached = minprocs(task, budget)
+                expected = _uncached_minprocs(task, budget)
+                if expected is None:
+                    assert cached is None
+                else:
+                    assert cached is not None
+                    assert cached.processors == expected.processors
+                    assert cached.attempts == expected.attempts
+
+
+def _uncached_minprocs(task, budget):
+    from repro.core.cache import caches
+
+    was = caches.enabled
+    caches.enabled = False
+    try:
+        return minprocs(task, budget)
+    finally:
+        caches.enabled = was
