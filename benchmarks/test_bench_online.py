@@ -1,0 +1,105 @@
+"""Online admission bench: incremental controller vs per-event re-analysis.
+
+An admit-heavy trace (effectively infinite lifetimes, light tasks, a large
+shared pool) grows the live population past 200 concurrently admitted tasks.
+The same event sequence is costed two ways:
+
+* **incremental** -- one :class:`repro.online.AdmissionController` replay;
+  each admit is an O(buckets x test points) shard probe;
+* **per-event batch** -- after every event, the full two-phase FEDCONS
+  analysis of the currently-admitted set is re-run (what an online system
+  without incremental state would have to do).  Decisions are identical by
+  construction: the batch run is the controller's correctness oracle.
+
+The tentpole's acceptance criterion -- incremental beats per-event batch
+re-analysis by >= 5x once 200+ tasks are admitted -- is asserted here, and
+the timings land in ``benchmarks/BENCH_online.json`` for PR-to-PR tracking.
+The baseline is timed exactly (no stride sampling): at these sizes it costs
+a few seconds total, which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.generation.tasksets import SystemConfig
+from repro.generation.traces import TraceConfig, generate_trace
+from repro.online.controller import AdmissionController
+from repro.online.trace import replay
+
+ARTIFACT = Path(__file__).parent / "BENCH_online.json"
+
+_SEED = 0
+_CONFIG = TraceConfig(
+    events=280,
+    processors=96,
+    mean_lifetime=1e6,  # nothing departs inside the window: population grows
+    heavy_fraction=0.05,
+    utilization_low=0.02,
+    utilization_high=0.28,
+    shape=SystemConfig(
+        min_vertices=4, max_vertices=10, deadline_ratio=(0.35, 1.0)
+    ),
+)
+
+
+def test_bench_online_admission():
+    trace = generate_trace(_CONFIG, _SEED)
+
+    controller = AdmissionController(_CONFIG.processors)
+    report = replay(controller, trace)
+    incremental_seconds = report.elapsed_seconds
+    assert controller.verify(exact=True)
+
+    baseline = AdmissionController(_CONFIG.processors)
+    batch_seconds = 0.0
+    for event in trace:
+        if event.op == "admit":
+            baseline.admit(event.task)
+        elif event.task_id in baseline.admitted_ids:
+            baseline.depart(event.task_id)
+        started = time.perf_counter()
+        baseline.reanalyze()
+        batch_seconds += time.perf_counter() - started
+
+    speedup = batch_seconds / incremental_seconds if incremental_seconds else 0.0
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "events": report.events,
+                "processors": _CONFIG.processors,
+                "seed": _SEED,
+                "peak_admitted": report.peak_admitted,
+                "accepted": report.accepted,
+                "rejected": report.rejected,
+                "incremental_seconds": incremental_seconds,
+                "incremental_events_per_second": report.events_per_second,
+                "batch_seconds": batch_seconds,
+                "batch_events_per_second": (
+                    report.events / batch_seconds if batch_seconds else 0.0
+                ),
+                "speedup": speedup,
+                "baseline_sampling": "exact (every event)",
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print(
+        f"\npeak admitted {report.peak_admitted}: incremental "
+        f"{incremental_seconds:.3f}s vs per-event batch {batch_seconds:.3f}s "
+        f"({speedup:.0f}x)"
+    )
+
+    assert report.peak_admitted >= 200, (
+        f"trace too small to exercise the criterion: peak admitted "
+        f"{report.peak_admitted} < 200"
+    )
+    # The tentpole's acceptance criterion.
+    assert speedup >= 5.0, (
+        f"incremental admission only {speedup:.1f}x faster than per-event "
+        f"re-analysis ({incremental_seconds:.3f}s vs {batch_seconds:.3f}s)"
+    )

@@ -41,6 +41,7 @@ from repro.core.partition import (
     partition_sporadic,
 )
 from repro.core.schedule import Schedule, Slot
+from repro.core.shard import ShardState
 
 __all__ = [
     "Schedule",
@@ -68,6 +69,7 @@ __all__ = [
     "FitStrategy",
     "TaskOrder",
     "AdmissionTest",
+    "ShardState",
     "deadline_monotonic",
     "response_time_analysis",
     "fp_exact_test",

@@ -33,6 +33,7 @@ from enum import Enum
 
 from repro.errors import AnalysisError
 from repro.core import dbf as dbf_mod
+from repro.core.shard import ShardState
 from repro.model.sporadic import SporadicTask
 from repro.model.task import SporadicDAGTask
 from repro.obs.events import PartitionAttempt, Rejection, current_context
@@ -74,6 +75,8 @@ class AdmissionTest(Enum):
     """The per-processor schedulability condition used during placement."""
 
     DBF_APPROX = "dbf_approx"  # the paper's DBF* + rate conditions
+    DBF_APPROX_ALL_POINTS = "dbf_approx_all_points"  # DBF* at every affected
+    # test point: order-independently sound (the online controller's probe)
     DBF_EXACT = "dbf_exact"  # exact processor-demand criterion (slow)
     DENSITY = "density"  # total density <= 1 (crudest)
 
@@ -126,15 +129,6 @@ class PartitionResult:
         return all(test(list(bucket)) for bucket in self.assignment)
 
 
-def _fits_demand(bucket: list[SporadicTask], task: SporadicTask) -> bool:
-    """The paper's Figure 4 condition at ``t = D_i`` plus the rate condition."""
-    demand = dbf_mod.total_dbf_approx(bucket, task.deadline)
-    if task.deadline - demand < task.wcet - _TOL:
-        return False
-    rate = sum(t.utilization for t in bucket)
-    return 1.0 - rate >= task.utilization - _TOL
-
-
 def _fits_exact(bucket: list[SporadicTask], task: SporadicTask) -> bool:
     return dbf_mod.edf_exact_test(bucket + [task])
 
@@ -143,11 +137,13 @@ def _fits_density(bucket: list[SporadicTask], task: SporadicTask) -> bool:
     return sum(t.density for t in bucket) + task.density <= 1.0 + _TOL
 
 
-_FIT_TESTS = {
-    AdmissionTest.DBF_APPROX: _fits_demand,
+_LIST_FIT_TESTS = {
     AdmissionTest.DBF_EXACT: _fits_exact,
     AdmissionTest.DENSITY: _fits_density,
 }
+
+#: Admission tests answered by the incremental per-processor demand ledgers.
+_SHARD_FIT_TESTS = (AdmissionTest.DBF_APPROX, AdmissionTest.DBF_APPROX_ALL_POINTS)
 
 
 def _slack_after(bucket: list[SporadicTask], task: SporadicTask) -> float:
@@ -224,11 +220,27 @@ def partition_sporadic(
         raise AnalysisError(f"processor count must be >= 0, got {processors}")
     ctx = current_context()
     buckets: list[list[SporadicTask]] = [[] for _ in range(processors)]
-    fits = _FIT_TESTS[admission]
-    for task in _sorted_tasks(tasks, order):
+    # The DBF*-based tests are answered by incremental per-processor demand
+    # ledgers (O(log bucket) per probe) instead of re-scanning every bucket.
+    if admission in _SHARD_FIT_TESTS:
+        shards = [ShardState() for _ in range(processors)]
+        if admission is AdmissionTest.DBF_APPROX:
+            def fits(k: int, task: SporadicTask) -> bool:
+                return shards[k].fits_at_deadline(task)
+        else:
+            def fits(k: int, task: SporadicTask) -> bool:
+                return shards[k].fits_all_points(task)
+    else:
+        shards = None
+        list_fits = _LIST_FIT_TESTS[admission]
+
+        def fits(k: int, task: SporadicTask) -> bool:
+            return list_fits(buckets[k], task)
+
+    for rank, task in enumerate(_sorted_tasks(tasks, order)):
         if _metrics.enabled:
             _metrics.incr("partition_placement_attempts")
-        candidates = [k for k in range(processors) if fits(buckets[k], task)]
+        candidates = [k for k in range(processors) if fits(k, task)]
         if not candidates:
             name = task.name or repr(task)
             if ctx is not None:
@@ -285,6 +297,8 @@ def partition_sporadic(
             task.name or repr(task), chosen, len(candidates), processors,
         )
         buckets[chosen].append(task)
+        if shards is not None:
+            shards[chosen].add(task, rank)
     return PartitionResult(
         success=True,
         assignment=tuple(tuple(b) for b in buckets),

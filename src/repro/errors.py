@@ -36,3 +36,8 @@ class SimulationError(ReproError):
 
 class GenerationError(ReproError):
     """A workload generator received unsatisfiable parameters."""
+
+
+class OnlineError(ReproError):
+    """An online admission-control request was malformed (unknown or
+    duplicate task id, unnamed task, bad event trace...)."""

@@ -34,6 +34,7 @@ from repro.experiments import (
     exp_fig1,
     exp_fragmentation,
     exp_minprocs,
+    exp_online,
     exp_overhead,
     exp_partition,
     exp_pool_policy,
@@ -76,6 +77,7 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "EXP-M": ("random-workload characterization", exp_workload.run),
     "EXP-N": ("analytic response-time headroom", exp_response.run),
     "EXP-O": ("dedicated-cluster capacity fragmentation", exp_fragmentation.run),
+    "EXP-P": ("online admission soak + incremental throughput", exp_online.run),
 }
 
 

@@ -21,6 +21,7 @@ from repro.generation.tasksets import (
     generate_system,
     generate_task,
 )
+from repro.generation.traces import TraceConfig, generate_trace
 
 __all__ = [
     "erdos_renyi_dag",
@@ -38,4 +39,6 @@ __all__ = [
     "generate_dag",
     "generate_task",
     "generate_system",
+    "TraceConfig",
+    "generate_trace",
 ]

@@ -29,11 +29,14 @@ Typical use::
 """
 
 from repro.obs.events import (
+    Admission,
+    Departure,
     MinprocsStep,
     ObsContext,
     ObsEvent,
     PartitionAttempt,
     PhaseComplete,
+    Reclamation,
     Rejection,
     current_context,
     tracing,
@@ -57,6 +60,9 @@ __all__ = [
     "PartitionAttempt",
     "PhaseComplete",
     "Rejection",
+    "Admission",
+    "Departure",
+    "Reclamation",
     "current_context",
     "tracing",
     "MetricsRegistry",

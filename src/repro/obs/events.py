@@ -30,6 +30,9 @@ __all__ = [
     "MinprocsStep",
     "PartitionAttempt",
     "Rejection",
+    "Admission",
+    "Departure",
+    "Reclamation",
     "ObsContext",
     "current_context",
     "tracing",
@@ -110,6 +113,58 @@ class Rejection(ObsEvent):
     reason: str
     task: str
     detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Admission(ObsEvent):
+    """The online controller decided one ``admit(task)`` request.
+
+    ``kind`` is ``"high_density"`` or ``"low_density"``; ``processors`` lists
+    the physical processors granted (the dedicated cluster, or the single
+    shared processor the task was placed on); ``reason`` names the violated
+    phase on rejection; ``detail`` quantifies the decision (cluster size,
+    candidate count, remaining pool...).
+    """
+
+    task: str
+    kind: str
+    accepted: bool
+    seq: int
+    processors: tuple[int, ...] = ()
+    reason: str | None = None
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Departure(ObsEvent):
+    """The online controller processed one ``depart(task_id)`` request.
+
+    ``released`` lists physical processors returned to the shared pool (the
+    departing task's dedicated cluster; empty for a low-density departure);
+    ``migrations`` counts low-density tasks moved by the compaction pass.
+    """
+
+    task: str
+    kind: str
+    seq: int
+    released: tuple[int, ...] = ()
+    migrations: int = 0
+
+
+@dataclass(frozen=True)
+class Reclamation(ObsEvent):
+    """Outcome of a post-departure reclamation/compaction pass.
+
+    ``clean`` records whether the replayed (defragmented) assignment passed
+    the full ``DBF*`` safety obligation and was committed; when ``False`` the
+    pre-departure placements were kept (minus the departed task), which is
+    always sound but may no longer match a from-scratch re-analysis.
+    """
+
+    source: str
+    processors: tuple[int, ...]
+    migrations: int
+    clean: bool
 
 
 E = TypeVar("E", bound=ObsEvent)

@@ -1,0 +1,50 @@
+"""Online admission control: incremental FEDCONS for dynamic task systems.
+
+The batch analysis (:mod:`repro.core.fedcons`) answers "is this frozen task
+set schedulable on ``m`` processors?".  This package answers the run-time
+version of the question -- tasks arrive and depart while the platform is
+live -- without re-running the two-phase analysis per event:
+
+:class:`~repro.online.controller.AdmissionController`
+    live FEDCONS state with incremental ``admit``/``depart``, a transactional
+    compaction pass, and a from-scratch batch oracle
+    (:meth:`~repro.online.controller.AdmissionController.reanalyze`).
+:mod:`repro.online.trace`
+    JSONL arrival/departure traces, deterministic replay, decision CSVs.
+:mod:`repro.online.cli`
+    the ``fedcons-admit`` command: generate and replay traces.
+
+The per-processor demand ledgers live in :mod:`repro.core.shard` (shared
+with the batch PARTITION); the sporadic trace generator lives in
+:mod:`repro.generation.traces`.
+"""
+
+from repro.online.controller import (
+    HIGH_DENSITY,
+    LOW_DENSITY,
+    AdmissionController,
+    AdmissionDecision,
+    DepartureReceipt,
+)
+from repro.online.trace import (
+    ReplayRecord,
+    ReplayReport,
+    TraceEvent,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+__all__ = [
+    "HIGH_DENSITY",
+    "LOW_DENSITY",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DepartureReceipt",
+    "TraceEvent",
+    "ReplayRecord",
+    "ReplayReport",
+    "save_trace",
+    "load_trace",
+    "replay",
+]

@@ -1,0 +1,164 @@
+"""``fedcons-admit``: generate and replay online admission traces.
+
+Two subcommands::
+
+    fedcons-admit generate TRACE.jsonl --events 200 -m 16 --seed 0
+        write a deterministic sporadic arrival/departure trace (JSONL).
+
+    fedcons-admit replay TRACE.jsonl -m 16 [--csv OUT.csv]
+                  [--oracle-every N] [--metrics OUT.json] [--no-repack]
+        feed the trace through an AdmissionController and report per-event
+        accept/reject decisions, throughput and admission latency; with
+        ``--oracle-every N`` every N-th event is cross-checked against a
+        from-scratch batch FEDCONS re-analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs import metrics
+from repro.obs.cli import add_observability_arguments, configure_from_args
+
+__all__ = ["admit_main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fedcons-admit",
+        description="Online FEDCONS admission control over event traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="write a deterministic arrival/departure trace"
+    )
+    gen.add_argument("output", help="destination JSONL path")
+    gen.add_argument("--events", type=int, default=200)
+    gen.add_argument("-m", "--processors", type=int, default=16)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--heavy-fraction", type=float, default=0.25,
+        help="fraction of arrivals drawn with cluster-tight deadlines",
+    )
+    gen.add_argument(
+        "--mean-interarrival", type=float, default=1.0,
+        help="mean inter-arrival time of the Poisson arrival process",
+    )
+    gen.add_argument(
+        "--mean-lifetime", type=float, default=50.0,
+        help="mean lifetime before a departure event is scheduled",
+    )
+    add_observability_arguments(gen)
+
+    rep = sub.add_parser(
+        "replay", help="drive an AdmissionController with a stored trace"
+    )
+    rep.add_argument("trace", help="JSONL trace (see the generate subcommand)")
+    rep.add_argument("-m", "--processors", type=int, required=True)
+    rep.add_argument(
+        "--csv", type=Path, default=None, metavar="OUT.csv",
+        help="write the per-event decision table as CSV",
+    )
+    rep.add_argument(
+        "--oracle-every", type=int, default=0, metavar="N",
+        help="cross-check the incremental state against a from-scratch "
+        "batch re-analysis every N events (0 = never)",
+    )
+    rep.add_argument(
+        "--metrics", type=Path, default=None, metavar="OUT.json",
+        help="collect admission counters/latency timers and write them as "
+        "JSON",
+    )
+    rep.add_argument(
+        "--no-repack", action="store_true",
+        help="skip the compaction pass after low-density departures "
+        "(faster departures, suspends batch-oracle equivalence)",
+    )
+    add_observability_arguments(rep)
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> int:
+    from repro.generation.traces import TraceConfig, generate_trace
+    from repro.online.trace import save_trace
+
+    config = TraceConfig(
+        events=args.events,
+        processors=args.processors,
+        heavy_fraction=args.heavy_fraction,
+        mean_interarrival=args.mean_interarrival,
+        mean_lifetime=args.mean_lifetime,
+    )
+    events = generate_trace(config, args.seed)
+    try:
+        save_trace(events, args.output)
+    except OSError as exc:
+        print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 2
+    admits = sum(1 for e in events if e.op == "admit")
+    print(
+        f"wrote {len(events)} events ({admits} admits, "
+        f"{len(events) - admits} departs) to {args.output}"
+    )
+    return 0
+
+
+def _replay(args: argparse.Namespace) -> int:
+    from repro.online.controller import AdmissionController
+    from repro.online.trace import load_trace, replay
+
+    if args.metrics is not None:
+        metrics.reset()
+        metrics.enable()
+    events = load_trace(args.trace)
+    controller = AdmissionController(
+        args.processors, repack_on_departure=not args.no_repack
+    )
+    report = replay(controller, events, oracle_every=args.oracle_every)
+    print(report.describe())
+    if args.metrics is not None:
+        snapshot = metrics.snapshot()
+        admit_timer = snapshot["timers"].get("online.admit_seconds")
+        if admit_timer:
+            print(
+                f"mean admit latency "
+                f"{1e6 * admit_timer['mean_seconds']:,.1f} us "
+                f"(max {1e6 * admit_timer['max_seconds']:,.1f} us)"
+            )
+        try:
+            args.metrics.write_text(json.dumps(snapshot, indent=2) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        print(f"metrics written to {args.metrics}")
+    if args.csv is not None:
+        try:
+            report.to_csv(args.csv)
+        except OSError as exc:
+            print(f"error: cannot write {args.csv}: {exc}", file=sys.stderr)
+            return 2
+        print(f"decisions written to {args.csv}")
+    return 0
+
+
+def admit_main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    configure_from_args(args)
+    try:
+        if args.command == "generate":
+            return _generate(args)
+        return _replay(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(admit_main())

@@ -1,0 +1,696 @@
+"""Online admission control: incremental FEDCONS over a live task population.
+
+Batch :func:`repro.core.fedcons.fedcons` analyses a frozen task set once.  An
+:class:`AdmissionController` maintains the *same* federated-scheduling state
+on ``m`` processors while tasks arrive and depart at run time, processing
+each event incrementally:
+
+* a **high-density admit** runs MINPROCS against the processors not yet
+  dedicated (one List-Scheduling search, served from the
+  :mod:`repro.core.cache` MINPROCS cache when enabled) and carves the cluster
+  out of the shared pool's empty tail;
+* a **low-density admit** is a first-fit probe of the per-processor
+  :class:`~repro.core.shard.ShardState` demand ledgers using the
+  order-independently sound ``DBF*`` test -- ``O(affected test points)`` per
+  candidate processor, never a full re-partition;
+* a **departure** releases a dedicated cluster back to the shared pool
+  (high-density) or removes the task from its shard and replays the
+  placements of later-admitted low-density tasks (the compaction pass) so
+  freed capacity is actually reusable.
+
+Canonical equivalence (the batch oracle)
+----------------------------------------
+
+An online controller cannot reorder history, so its canonical reference is
+FEDCONS over the *currently admitted tasks in admission order* with the
+partition phase in ``GIVEN`` order under the order-independent
+``DBF_APPROX_ALL_POINTS`` admission test -- exactly what
+:meth:`AdmissionController.reanalyze` runs.  While :attr:`canonical` is true
+(always, unless a compaction pass was rejected by its safety check or
+``repack_on_departure=False`` suspended compaction), the incremental state
+equals that from-scratch re-analysis *exactly*: same accept/reject decision
+for every event, same per-task cluster sizes, same shared-pool size, and the
+same task-to-bucket assignment.  The supporting invariants:
+
+1. a task's minimal cluster size ``mu*`` is independent of the processor
+   budget (MINPROCS stops at the first fitting ``mu``), and re-analysis
+   budgets only grow as earlier tasks depart;
+2. first-fit placement is *prefix-stable*: adding or removing empty buckets
+   on the right never changes where tasks land, and low-density tasks always
+   fit an empty bucket (``delta < 1``), so occupied buckets form a prefix;
+3. a newly admitted task is last in admission order, so its probe sequence
+   in the incremental state equals its probe sequence in the re-analysis;
+4. after a low-density departure, tasks admitted *before* it are unaffected
+   (their probes never saw it) and tasks admitted after are replayed
+   first-fit from the surviving prefix -- which is precisely the re-analysis.
+
+First-fit is not monotone under removal: very rarely, the replay after a
+departure cannot place every surviving task.  The compaction pass is
+transactional -- migrations are committed only if every replayed placement
+passes the same ``DBF*`` test -- so in that case the pre-departure
+assignment (minus the departed task) is kept.  The state remains sound
+(demand only decreased) but :attr:`canonical` turns false until a successful
+:meth:`compact` restores the canonical packing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import OnlineError
+from repro.core.fedcons import FailureReason, FedConsResult, fedcons
+from repro.core.minprocs import minprocs
+from repro.core.partition import AdmissionTest, PartitionResult, TaskOrder
+from repro.core.schedule import Schedule
+from repro.core.shard import ShardState
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+from repro.obs.events import Admission, Departure, Reclamation, current_context
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _metrics
+
+__all__ = [
+    "HIGH_DENSITY",
+    "LOW_DENSITY",
+    "AdmissionDecision",
+    "DepartureReceipt",
+    "AdmissionController",
+]
+
+_log = get_logger(__name__)
+
+HIGH_DENSITY = "high_density"
+LOW_DENSITY = "low_density"
+
+#: Rejection reason for a task that is not constrained-deadline (batch
+#: ``fedcons`` raises ``ModelError`` instead; an online server must not).
+NOT_CONSTRAINED = "not_constrained"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one ``admit(task)`` request.
+
+    ``processors`` holds the granted physical processor indices: the whole
+    dedicated cluster for a high-density task, the single shared processor
+    for a low-density one, empty on rejection.
+    """
+
+    accepted: bool
+    task_id: str
+    kind: str  # HIGH_DENSITY | LOW_DENSITY
+    seq: int
+    processors: tuple[int, ...] = ()
+    reason: str | None = None
+    latency_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class DepartureReceipt:
+    """Outcome of one ``depart(task_id)`` request.
+
+    ``released`` lists the physical processors returned to the shared pool
+    (the dedicated cluster; empty for a low-density departure -- its shard
+    capacity is reclaimed in place).  ``migrations`` counts low-density tasks
+    the compaction pass moved; ``clean`` is whether that pass passed its
+    ``DBF*`` safety obligation and was committed.
+    """
+
+    task_id: str
+    kind: str
+    seq: int
+    released: tuple[int, ...] = ()
+    migrations: int = 0
+    clean: bool = True
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class _LowEntry:
+    """Book-keeping for one admitted low-density task."""
+
+    task: SporadicDAGTask
+    sporadic: SporadicTask
+    seq: int  # admission sequence number: the canonical order & shard rank
+    bucket: int  # current shared-bucket index
+
+    __slots__ = ("task", "sporadic", "seq", "bucket")
+
+
+@dataclass
+class _Cluster:
+    """Book-keeping for one admitted high-density task."""
+
+    task: SporadicDAGTask
+    processors: tuple[int, ...]
+    schedule: Schedule
+    seq: int
+
+    __slots__ = ("task", "processors", "schedule", "seq")
+
+
+class AdmissionController:
+    """Live FEDCONS state on ``m`` processors with incremental admit/depart.
+
+    Parameters
+    ----------
+    processors:
+        Platform size ``m`` (>= 1).
+    ls_order:
+        List-Scheduling priority order for MINPROCS templates.
+    repack_on_departure:
+        Run the compaction pass after each low-density departure (default).
+        Disabling it makes departures O(bucket) but suspends canonical
+        equivalence with the batch re-analysis until :meth:`compact` is
+        called; the state stays sound either way.
+    """
+
+    def __init__(
+        self,
+        processors: int,
+        ls_order: str = "longest_path",
+        repack_on_departure: bool = True,
+    ) -> None:
+        if processors < 1:
+            raise OnlineError(
+                f"platform must have >= 1 processor, got {processors}"
+            )
+        self._m = processors
+        self._ls_order = ls_order
+        self._repack = repack_on_departure
+        #: every admitted task in admission order (the canonical system order)
+        self._tasks: dict[str, SporadicDAGTask] = {}
+        self._clusters: dict[str, _Cluster] = {}
+        self._low: dict[str, _LowEntry] = {}
+        #: physical processor behind each shared bucket, in bucket order
+        self._shared: list[int] = list(range(processors))
+        self._buckets: list[list[_LowEntry]] = [[] for _ in range(processors)]
+        self._shards: list[ShardState] = [ShardState() for _ in range(processors)]
+        self._seq = 0
+        self._canonical = True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def total_processors(self) -> int:
+        """Platform size ``m``."""
+        return self._m
+
+    @property
+    def canonical(self) -> bool:
+        """Whether the state provably equals the batch re-analysis."""
+        return self._canonical
+
+    @property
+    def admitted_ids(self) -> tuple[str, ...]:
+        """Ids of every admitted task, in admission order."""
+        return tuple(self._tasks)
+
+    @property
+    def admitted_count(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def dedicated_processor_count(self) -> int:
+        return sum(len(c.processors) for c in self._clusters.values())
+
+    @property
+    def shared_processor_count(self) -> int:
+        return len(self._shared)
+
+    @property
+    def shared_processors(self) -> tuple[int, ...]:
+        """Physical indices behind the shared buckets, in bucket order."""
+        return tuple(self._shared)
+
+    def cluster_of(self, task_id: str) -> tuple[int, ...]:
+        """Physical processors dedicated to high-density task *task_id*."""
+        try:
+            return self._clusters[task_id].processors
+        except KeyError:
+            raise OnlineError(
+                f"no admitted high-density task {task_id!r}"
+            ) from None
+
+    def bucket_of(self, task_id: str) -> int:
+        """Shared-bucket index holding low-density task *task_id*."""
+        try:
+            return self._low[task_id].bucket
+        except KeyError:
+            raise OnlineError(f"no admitted low-density task {task_id!r}") from None
+
+    def to_partition_result(self) -> PartitionResult:
+        """The shared pool's current assignment as a :class:`PartitionResult`."""
+        return PartitionResult(
+            success=True,
+            assignment=tuple(
+                tuple(e.sporadic for e in bucket) for bucket in self._buckets
+            ),
+            processors=len(self._shared),
+            dag_tasks={e.sporadic.name: e.task for e in self._low.values()},
+        )
+
+    def verify(self, exact: bool = False) -> bool:
+        """Soundness check of the whole deployment.
+
+        Every dedicated template must meet its deadline and every shared
+        bucket must pass the uniprocessor EDF test (``DBF*`` by default,
+        the pseudo-polynomial exact criterion with ``exact=True``).
+        """
+        for cluster in self._clusters.values():
+            if not cluster.schedule.meets_deadline(cluster.task.deadline):
+                return False
+        return self.to_partition_result().verify(exact=exact)
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary of the live state."""
+        return {
+            "processors": self._m,
+            "admitted": len(self._tasks),
+            "high_density": len(self._clusters),
+            "low_density": len(self._low),
+            "dedicated_processors": self.dedicated_processor_count,
+            "shared_processors": len(self._shared),
+            "occupied_shared": sum(1 for b in self._buckets if b),
+            "shared_utilization": sum(s.utilization for s in self._shards),
+            "canonical": self._canonical,
+            "clusters": {
+                name: list(c.processors) for name, c in self._clusters.items()
+            },
+            "buckets": {
+                self._shared[k]: [e.sporadic.name for e in bucket]
+                for k, bucket in enumerate(self._buckets)
+                if bucket
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # the batch oracle
+    # ------------------------------------------------------------------
+    def reanalyze(self) -> FedConsResult | None:
+        """From-scratch FEDCONS of the admitted set in canonical order.
+
+        ``None`` when no task is admitted.  This is the reference the
+        incremental state is measured against: partition order ``GIVEN``
+        (admission order -- an online system cannot reorder history) under
+        the order-independently sound ``DBF*`` test.
+        """
+        if not self._tasks:
+            return None
+        return fedcons(
+            TaskSystem(self._tasks.values()),
+            self._m,
+            ls_order=self._ls_order,
+            partition_order=TaskOrder.GIVEN,
+            partition_admission=AdmissionTest.DBF_APPROX_ALL_POINTS,
+        )
+
+    def matches_batch(self, batch: FedConsResult | None = None) -> bool:
+        """Whether the incremental state equals the batch re-analysis.
+
+        Compares acceptance, per-task cluster sizes, the shared-pool size and
+        the bucket-by-bucket task assignment.  Guaranteed true while
+        :attr:`canonical` holds; callers may pass a precomputed *batch*
+        result to avoid re-running :meth:`reanalyze`.
+        """
+        if batch is None:
+            batch = self.reanalyze()
+        if batch is None:
+            return not self._tasks
+        if not batch.success:
+            return False
+        mine = {
+            name: len(c.processors) for name, c in self._clusters.items()
+        }
+        theirs = {
+            a.task.name: a.cluster_size for a in batch.allocations
+        }
+        if mine != theirs:
+            return False
+        if batch.shared_processor_count != len(self._shared):
+            return False
+        assert batch.partition is not None
+        batch_buckets = [
+            tuple(t.name for t in bucket) for bucket in batch.partition.assignment
+        ]
+        mine_buckets = [
+            tuple(e.sporadic.name for e in bucket) for bucket in self._buckets
+        ]
+        return batch_buckets == mine_buckets
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, task: SporadicDAGTask) -> AdmissionDecision:
+        """Process one arrival; O(one MINPROCS) or O(probe * test points).
+
+        Raises
+        ------
+        OnlineError
+            If the task is unnamed or its name collides with an admitted
+            task (caller errors); schedulability problems are *rejections*,
+            not exceptions.
+        """
+        started = time.perf_counter()
+        if not isinstance(task, SporadicDAGTask):
+            raise OnlineError(
+                f"admit() takes a SporadicDAGTask, got {type(task).__name__}"
+            )
+        if not task.name:
+            raise OnlineError("online tasks must carry a unique non-empty name")
+        if task.name in self._tasks:
+            raise OnlineError(f"task id {task.name!r} is already admitted")
+        self._seq += 1
+        kind = HIGH_DENSITY if task.is_high_density else LOW_DENSITY
+        if not task.is_constrained_deadline:
+            return self._reject(task, kind, NOT_CONSTRAINED, started)
+        if task.span > task.deadline:
+            return self._reject(
+                task, kind, FailureReason.STRUCTURALLY_INFEASIBLE.value, started
+            )
+        if kind == HIGH_DENSITY:
+            return self._admit_high(task, started)
+        return self._admit_low(task, started)
+
+    def _admit_high(
+        self, task: SporadicDAGTask, started: float
+    ) -> AdmissionDecision:
+        budget = len(self._shared)
+        result = minprocs(task, budget, order=self._ls_order)
+        if result is None:
+            return self._reject(
+                task, HIGH_DENSITY, FailureReason.HIGH_DENSITY_PHASE.value,
+                started,
+            )
+        new_pool = budget - result.processors
+        highest_occupied = max(
+            (k for k, bucket in enumerate(self._buckets) if bucket), default=-1
+        )
+        if highest_occupied >= new_pool:
+            # The shrunken shared pool could no longer carry the admitted
+            # low-density tasks: the batch re-analysis would fail in the
+            # PARTITION phase, so the arrival is turned away.
+            return self._reject(
+                task, HIGH_DENSITY, FailureReason.PARTITION_PHASE.value,
+                started,
+                detail={"cluster": result.processors, "pool_after": new_pool},
+            )
+        granted = tuple(self._shared[new_pool:])
+        del self._shared[new_pool:]
+        del self._buckets[new_pool:]
+        del self._shards[new_pool:]
+        self._clusters[task.name] = _Cluster(
+            task=task,
+            processors=granted,
+            schedule=result.schedule,
+            seq=self._seq,
+        )
+        self._tasks[task.name] = task
+        return self._accept(
+            task, HIGH_DENSITY, granted, started,
+            detail={"cluster": len(granted), "attempts": result.attempts},
+        )
+
+    def _admit_low(
+        self, task: SporadicDAGTask, started: float
+    ) -> AdmissionDecision:
+        sporadic = task.to_sporadic()
+        for k, shard in enumerate(self._shards):
+            if _metrics.enabled:
+                _metrics.incr("online.placement_probes")
+            if shard.fits_all_points(sporadic):
+                entry = _LowEntry(
+                    task=task, sporadic=sporadic, seq=self._seq, bucket=k
+                )
+                self._buckets[k].append(entry)
+                shard.add(sporadic, entry.seq)
+                self._low[task.name] = entry
+                self._tasks[task.name] = task
+                return self._accept(
+                    task, LOW_DENSITY, (self._shared[k],), started,
+                    detail={"bucket": k},
+                )
+        return self._reject(
+            task, LOW_DENSITY, FailureReason.PARTITION_PHASE.value, started
+        )
+
+    def _accept(
+        self,
+        task: SporadicDAGTask,
+        kind: str,
+        processors: tuple[int, ...],
+        started: float,
+        detail: dict | None = None,
+    ) -> AdmissionDecision:
+        latency = time.perf_counter() - started
+        if _metrics.enabled:
+            _metrics.incr("online.admit_accepted")
+            _metrics.record_time("online.admit_seconds", latency)
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record(
+                Admission(
+                    task=task.name,
+                    kind=kind,
+                    accepted=True,
+                    seq=self._seq,
+                    processors=processors,
+                    detail=detail or {},
+                )
+            )
+        _log.info(
+            "ADMIT %s (%s): processors %s", task.name, kind, list(processors)
+        )
+        return AdmissionDecision(
+            accepted=True,
+            task_id=task.name,
+            kind=kind,
+            seq=self._seq,
+            processors=processors,
+            latency_seconds=latency,
+        )
+
+    def _reject(
+        self,
+        task: SporadicDAGTask,
+        kind: str,
+        reason: str,
+        started: float,
+        detail: dict | None = None,
+    ) -> AdmissionDecision:
+        latency = time.perf_counter() - started
+        if _metrics.enabled:
+            _metrics.incr("online.admit_rejected")
+            _metrics.record_time("online.admit_seconds", latency)
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record(
+                Admission(
+                    task=task.name,
+                    kind=kind,
+                    accepted=False,
+                    seq=self._seq,
+                    reason=reason,
+                    detail=detail or {},
+                )
+            )
+        _log.info("REJECT %s (%s): %s", task.name, kind, reason)
+        return AdmissionDecision(
+            accepted=False,
+            task_id=task.name,
+            kind=kind,
+            seq=self._seq,
+            reason=reason,
+            latency_seconds=latency,
+        )
+
+    # ------------------------------------------------------------------
+    # departure & reclamation
+    # ------------------------------------------------------------------
+    def depart(self, task_id: str) -> DepartureReceipt:
+        """Process one departure, reclaiming the task's capacity.
+
+        Raises
+        ------
+        OnlineError
+            If *task_id* is not currently admitted.
+        """
+        started = time.perf_counter()
+        self._seq += 1
+        if task_id in self._clusters:
+            return self._depart_high(task_id, started)
+        if task_id in self._low:
+            return self._depart_low(task_id, started)
+        raise OnlineError(f"no admitted task {task_id!r} to depart")
+
+    def _depart_high(self, task_id: str, started: float) -> DepartureReceipt:
+        cluster = self._clusters.pop(task_id)
+        del self._tasks[task_id]
+        # Freed processors join the shared pool as new rightmost (empty)
+        # buckets: first-fit is prefix-stable, so every existing placement --
+        # and hence canonical equivalence -- is untouched, and the very next
+        # high-density admit can carve its cluster from this tail.
+        for proc in cluster.processors:
+            self._shared.append(proc)
+            self._buckets.append([])
+            self._shards.append(ShardState())
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record(
+                Departure(
+                    task=task_id,
+                    kind=HIGH_DENSITY,
+                    seq=self._seq,
+                    released=cluster.processors,
+                )
+            )
+            ctx.record(
+                Reclamation(
+                    source=task_id,
+                    processors=cluster.processors,
+                    migrations=0,
+                    clean=True,
+                )
+            )
+        latency = time.perf_counter() - started
+        if _metrics.enabled:
+            _metrics.incr("online.departures")
+            _metrics.record_time("online.depart_seconds", latency)
+        _log.info(
+            "DEPART %s (high-density): released processors %s",
+            task_id, list(cluster.processors),
+        )
+        return DepartureReceipt(
+            task_id=task_id,
+            kind=HIGH_DENSITY,
+            seq=self._seq,
+            released=cluster.processors,
+            latency_seconds=latency,
+        )
+
+    def _depart_low(self, task_id: str, started: float) -> DepartureReceipt:
+        entry = self._low.pop(task_id)
+        del self._tasks[task_id]
+        self._buckets[entry.bucket].remove(entry)
+        self._shards[entry.bucket].remove(entry.sporadic.name)
+        migrations = 0
+        clean = True
+        if self._repack:
+            migrations, clean = self._replay_suffix(entry.seq)
+            if clean:
+                # A clean compaction restores the canonical packing even if a
+                # previous pass had been rejected.
+                self._restore_canonical_if_complete(entry.seq)
+            else:
+                self._canonical = False
+                if _metrics.enabled:
+                    _metrics.incr("online.repack_anomalies")
+        else:
+            self._canonical = False
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record(
+                Departure(
+                    task=task_id,
+                    kind=LOW_DENSITY,
+                    seq=self._seq,
+                    migrations=migrations,
+                )
+            )
+            ctx.record(
+                Reclamation(
+                    source=task_id,
+                    processors=(),
+                    migrations=migrations,
+                    clean=clean,
+                )
+            )
+        latency = time.perf_counter() - started
+        if _metrics.enabled:
+            _metrics.incr("online.departures")
+            _metrics.incr("online.migrations", migrations)
+            _metrics.record_time("online.depart_seconds", latency)
+        _log.info(
+            "DEPART %s (low-density): %d migration(s), %s",
+            task_id, migrations, "clean" if clean else "compaction kept old",
+        )
+        return DepartureReceipt(
+            task_id=task_id,
+            kind=LOW_DENSITY,
+            seq=self._seq,
+            migrations=migrations,
+            clean=clean,
+            latency_seconds=latency,
+        )
+
+    def _restore_canonical_if_complete(self, from_seq: int) -> None:
+        """A clean suffix replay re-canonicalises iff it covered every task
+        that could be out of canonical position.
+
+        After a *rejected* pass at sequence ``s``, tasks admitted before
+        ``s`` may sit off-canonically; a later clean replay from a smaller
+        sequence covers them.  Conservatively: only a replay from the very
+        first low entry (or a state that was already canonical) restores the
+        flag -- :meth:`compact` always qualifies.
+        """
+        if self._canonical:
+            return
+        first_seq = min(
+            (e.seq for e in self._low.values()), default=float("inf")
+        )
+        if from_seq < first_seq:
+            self._canonical = True
+
+    def _replay_suffix(self, after_seq: int) -> tuple[int, bool]:
+        """First-fit replay of low entries admitted after *after_seq*.
+
+        Transactional: the replayed assignment replaces the current one only
+        if every task places (each individual migration thereby re-proven by
+        the same ``DBF*`` test that admitted it); otherwise the pre-replay
+        assignment is kept and ``(0, False)`` returned.
+        """
+        suffix = [e for e in self._low.values() if e.seq > after_seq]
+        if not suffix:
+            return 0, True
+        new_buckets: list[list[_LowEntry]] = [
+            [e for e in bucket if e.seq < after_seq]
+            for bucket in self._buckets
+        ]
+        new_shards = [
+            ShardState((e.sporadic, e.seq) for e in bucket)
+            for bucket in new_buckets
+        ]
+        placed: list[tuple[_LowEntry, int]] = []
+        for entry in suffix:
+            for k, shard in enumerate(new_shards):
+                if shard.fits_all_points(entry.sporadic):
+                    new_buckets[k].append(entry)
+                    shard.add(entry.sporadic, entry.seq)
+                    placed.append((entry, k))
+                    break
+            else:
+                # First-fit anomaly: the survivors no longer pack under
+                # first-fit.  Safety obligation violated -> keep the old
+                # (sound) assignment.
+                return 0, False
+        migrations = sum(1 for entry, k in placed if k != entry.bucket)
+        for entry, k in placed:
+            entry.bucket = k
+        self._buckets = new_buckets
+        self._shards = new_shards
+        return migrations, True
+
+    def compact(self) -> tuple[int, bool]:
+        """Full defragmentation: replay *every* low-density placement.
+
+        Returns ``(migrations, clean)``.  A clean pass leaves the shared pool
+        in exactly the canonical (batch re-analysis) packing and restores
+        :attr:`canonical`; a rejected pass changes nothing.
+        """
+        migrations, clean = self._replay_suffix(0)
+        if clean:
+            self._canonical = True
+        return migrations, clean

@@ -1,0 +1,301 @@
+"""Event traces for the online admission controller.
+
+A trace is an ordered sequence of :class:`TraceEvent` records -- ``admit``
+events carrying a full serialized :class:`~repro.model.task.SporadicDAGTask`,
+``depart`` events carrying a task id -- stored one JSON object per line
+(JSONL), so traces stream, diff and concatenate trivially::
+
+    {"op": "admit", "task_id": "t0001", "at": 0.73, "task": {...}}
+    {"op": "depart", "task_id": "t0001", "at": 41.2}
+
+:func:`replay` feeds a trace through an
+:class:`~repro.online.controller.AdmissionController` and returns a
+:class:`ReplayReport` of per-event :class:`ReplayRecord` rows plus aggregate
+accept/reject/latency statistics; ``oracle_every=k`` additionally re-runs the
+batch FEDCONS re-analysis after every ``k``-th event and asserts the
+incremental state matches it.  The record rows (not the latencies) are a pure
+function of the trace and platform, which is what the committed golden trace
+in ``tests/data/`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import OnlineError
+from repro.model.serialization import task_from_dict, task_to_dict
+from repro.model.task import SporadicDAGTask
+from repro.online.controller import AdmissionController
+
+__all__ = [
+    "TraceEvent",
+    "ReplayRecord",
+    "ReplayReport",
+    "save_trace",
+    "load_trace",
+    "replay",
+]
+
+#: Replay outcomes beyond plain accept/reject.
+DEPARTED = "departed"
+ABSENT = "absent"  # depart of a task that is not admitted (e.g. was rejected)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of an arrival/departure trace.
+
+    ``op`` is ``"admit"`` (with ``task`` set) or ``"depart"``; ``at`` is the
+    event's logical timestamp -- informational only, replay is order-driven.
+    """
+
+    op: str
+    task_id: str
+    at: float = 0.0
+    task: SporadicDAGTask | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("admit", "depart"):
+            raise OnlineError(f"trace op must be admit|depart, got {self.op!r}")
+        if self.op == "admit" and self.task is None:
+            raise OnlineError(f"admit event {self.task_id!r} carries no task")
+
+    def to_dict(self) -> dict:
+        record: dict = {"op": self.op, "task_id": self.task_id, "at": self.at}
+        if self.task is not None:
+            record["task"] = task_to_dict(self.task)
+        return record
+
+    @staticmethod
+    def from_dict(record: dict) -> "TraceEvent":
+        task = record.get("task")
+        return TraceEvent(
+            op=record.get("op", "?"),
+            task_id=record.get("task_id", ""),
+            at=float(record.get("at", 0.0)),
+            task=task_from_dict(task) if task is not None else None,
+        )
+
+
+def save_trace(events: Iterable[TraceEvent], path: str | Path) -> None:
+    """Write *events* as JSONL (one compact JSON object per line)."""
+    lines = [
+        json.dumps(event.to_dict(), separators=(",", ":"), sort_keys=True)
+        for event in events
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Parse a JSONL trace file.
+
+    Raises
+    ------
+    OnlineError
+        On malformed JSON or events failing :class:`TraceEvent` validation.
+    """
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise OnlineError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        events.append(TraceEvent.from_dict(record))
+    return events
+
+
+@dataclass(frozen=True)
+class ReplayRecord:
+    """The controller's decision for one trace event."""
+
+    seq: int  # 1-based event index within the replay
+    op: str
+    task_id: str
+    kind: str  # high_density | low_density | "" (absent departures)
+    outcome: str  # accepted | rejected | departed | absent
+    reason: str  # rejection reason, "" otherwise
+    processors: tuple[int, ...]  # granted (admits) or released (departures)
+    migrations: int
+    latency_seconds: float
+
+    def csv_row(self) -> list[str]:
+        """Deterministic CSV cells (latency deliberately excluded)."""
+        return [
+            str(self.seq),
+            self.op,
+            self.task_id,
+            self.kind,
+            self.outcome,
+            self.reason,
+            " ".join(str(p) for p in self.processors),
+            str(self.migrations),
+        ]
+
+
+CSV_HEADER = [
+    "seq", "op", "task_id", "kind", "outcome", "reason", "processors",
+    "migrations",
+]
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate outcome of replaying one trace."""
+
+    processors: int
+    records: list[ReplayRecord] = field(default_factory=list)
+    accepted: int = 0
+    rejected: int = 0
+    departed: int = 0
+    absent: int = 0
+    migrations: int = 0
+    oracle_checks: int = 0
+    anomalies: int = 0  # rejected compaction passes (state kept, sound)
+    elapsed_seconds: float = 0.0
+    peak_admitted: int = 0
+
+    @property
+    def events(self) -> int:
+        return len(self.records)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the per-event decision table as deterministic CSV."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(CSV_HEADER)
+            for record in self.records:
+                writer.writerow(record.csv_row())
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate statistics."""
+        return {
+            "events": self.events,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "departed": self.departed,
+            "absent": self.absent,
+            "migrations": self.migrations,
+            "peak_admitted": self.peak_admitted,
+            "oracle_checks": self.oracle_checks,
+            "anomalies": self.anomalies,
+            "elapsed_seconds": self.elapsed_seconds,
+            "events_per_second": self.events_per_second,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"replayed {self.events} events on m={self.processors}: "
+            f"{self.accepted} accepted, {self.rejected} rejected, "
+            f"{self.departed} departed ({self.absent} absent)",
+            f"peak admitted {self.peak_admitted}, "
+            f"{self.migrations} migration(s), {self.anomalies} anomaly(ies)",
+        ]
+        if self.elapsed_seconds:
+            lines.append(
+                f"{self.events_per_second:,.0f} events/s "
+                f"({self.elapsed_seconds:.3f}s total)"
+            )
+        if self.oracle_checks:
+            lines.append(
+                f"batch oracle verified at {self.oracle_checks} checkpoint(s)"
+            )
+        return "\n".join(lines)
+
+
+def replay(
+    controller: AdmissionController,
+    events: Sequence[TraceEvent],
+    oracle_every: int = 0,
+) -> ReplayReport:
+    """Feed *events* through *controller*, collecting per-event decisions.
+
+    Departures of task ids that are not currently admitted (rejected earlier,
+    already departed, or never seen) are recorded as ``absent`` -- a trace
+    generator cannot know which of its arrivals the controller will accept.
+
+    With ``oracle_every=k > 0``, every ``k``-th event is followed by a
+    from-scratch batch re-analysis which must match the incremental state
+    (only enforced while the controller is canonical).
+
+    Raises
+    ------
+    OnlineError
+        If an oracle checkpoint finds the incremental state diverging from
+        the batch re-analysis.
+    """
+    report = ReplayReport(processors=controller.total_processors)
+    admitted: set[str] = set(controller.admitted_ids)
+    started = time.perf_counter()
+    for index, event in enumerate(events, start=1):
+        if event.op == "admit":
+            decision = controller.admit(event.task)
+            if decision.accepted:
+                admitted.add(event.task_id)
+                report.accepted += 1
+            else:
+                report.rejected += 1
+            record = ReplayRecord(
+                seq=index,
+                op="admit",
+                task_id=event.task_id,
+                kind=decision.kind,
+                outcome="accepted" if decision.accepted else "rejected",
+                reason=decision.reason or "",
+                processors=decision.processors,
+                migrations=0,
+                latency_seconds=decision.latency_seconds,
+            )
+        elif event.task_id not in admitted:
+            report.absent += 1
+            record = ReplayRecord(
+                seq=index,
+                op="depart",
+                task_id=event.task_id,
+                kind="",
+                outcome=ABSENT,
+                reason="",
+                processors=(),
+                migrations=0,
+                latency_seconds=0.0,
+            )
+        else:
+            receipt = controller.depart(event.task_id)
+            admitted.discard(event.task_id)
+            report.departed += 1
+            report.migrations += receipt.migrations
+            if not receipt.clean:
+                report.anomalies += 1
+            record = ReplayRecord(
+                seq=index,
+                op="depart",
+                task_id=event.task_id,
+                kind=receipt.kind,
+                outcome=DEPARTED,
+                reason="",
+                processors=receipt.released,
+                migrations=receipt.migrations,
+                latency_seconds=receipt.latency_seconds,
+            )
+        report.records.append(record)
+        report.peak_admitted = max(report.peak_admitted, len(admitted))
+        if oracle_every and index % oracle_every == 0 and controller.canonical:
+            if not controller.matches_batch():
+                raise OnlineError(
+                    f"batch oracle diverged from incremental state after "
+                    f"event {index} ({event.op} {event.task_id!r})"
+                )
+            report.oracle_checks += 1
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

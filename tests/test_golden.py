@@ -1,15 +1,23 @@
 """Golden regression tests: committed CSV snapshots of the deterministic
 experiments (FIG1, EX2) must match what the runner produces today, byte for
-byte.
+byte -- and the committed 200-event admission trace must replay to the same
+per-event decisions.
 
-Both experiments are RNG-free reconstructions of the paper's worked examples
+The experiments are RNG-free reconstructions of the paper's worked examples
 (Figure 1 quantities, the Example 2 witness family), so their tables are a
-pure function of the analysis code.  Any diff here means an algorithm change
-altered paper-facing numbers -- which must be a deliberate, reviewed event.
-The snapshots in ``tests/data/`` were generated with::
+pure function of the analysis code.  The online snapshot pins the whole
+admission pipeline instead: accept/reject, granted processors and migration
+counts for every event of a stored trace.  Any diff here means an algorithm
+change altered paper-facing numbers or admission decisions -- which must be
+a deliberate, reviewed event.  The snapshots in ``tests/data/`` were
+generated with::
 
     python -m repro.experiments.runner --experiment FIG1 --experiment EX2 \\
         --out tests/data
+    python -m repro.online.cli generate tests/data/online_trace.jsonl \\
+        --events 200 -m 16 --seed 0
+    python -m repro.online.cli replay tests/data/online_trace.jsonl -m 16 \\
+        --oracle-every 5 --csv tests/data/online_decisions.csv
 """
 
 from __future__ import annotations
@@ -60,3 +68,40 @@ class TestGoldenSnapshots:
         assert fig1.splitlines()[0].startswith('"# FIG1')
         ex2 = (DATA / "ex2_0.csv").read_text()
         assert "required speed" in ex2
+
+
+class TestGoldenOnlineTrace:
+    """The committed admission trace replays to the committed decisions."""
+
+    TRACE = DATA / "online_trace.jsonl"
+    DECISIONS = DATA / "online_decisions.csv"
+
+    def test_snapshots_are_committed(self):
+        assert self.TRACE.is_file()
+        assert self.DECISIONS.is_file()
+        assert len(self.TRACE.read_text().splitlines()) == 200
+
+    def test_replay_matches_decision_snapshot(self, tmp_path):
+        from repro.online.cli import admit_main
+
+        produced = tmp_path / "decisions.csv"
+        exit_code = admit_main(
+            [
+                "replay", str(self.TRACE), "-m", "16",
+                "--oracle-every", "5", "--csv", str(produced),
+            ]
+        )
+        assert exit_code == 0
+        assert produced.read_bytes() == self.DECISIONS.read_bytes(), (
+            "online admission decisions drifted from the committed golden "
+            "snapshot; if the change is intentional, regenerate tests/data/ "
+            "(see module docstring) and commit the diff"
+        )
+
+    def test_snapshot_contents_sane(self):
+        header, *rows = self.DECISIONS.read_text().splitlines()
+        assert header == "seq,op,task_id,kind,outcome,reason,processors,migrations"
+        assert len(rows) == 200
+        outcomes = {row.split(",")[4] for row in rows}
+        # The trace exercises every path: accepts, rejects and departures.
+        assert {"accepted", "rejected", "departed"} <= outcomes
