@@ -1,0 +1,122 @@
+"""Recovery bench: checkpoint + journal-tail replay vs full genesis replay.
+
+A 1000-event admission trace is journaled through a
+:class:`repro.online.DurableController` with checkpoint rotation, producing
+the durable state a crashed server would leave behind.  Recovery is then
+timed two ways:
+
+* **from the latest checkpoint** -- restore the lossless snapshot (no
+  analysis re-run: templates reload from their serialized slots, shard
+  ledgers recompute from sorted entries) and replay only the journal records
+  after the checkpoint offset;
+* **from genesis** -- replay every journal record through the real
+  controller, i.e. re-run every MINPROCS search and every shard probe of the
+  server's entire history.
+
+Both recoveries must land on the *same* state (snapshot-identical, exact
+verification passing); the tentpole's acceptance criterion -- checkpoint
+recovery >= 10x faster than genesis replay -- is asserted here, and the
+timings land in ``benchmarks/BENCH_recovery.json`` for PR-to-PR tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.generation.tasksets import SystemConfig
+from repro.generation.traces import TraceConfig, generate_trace
+from repro.online import (
+    AdmissionController,
+    DurableController,
+    Journal,
+    load_checkpoint,
+    recover,
+    replay,
+)
+
+ARTIFACT = Path(__file__).parent / "BENCH_recovery.json"
+
+_SEED = 0
+_EVENTS = 1000
+_CHECKPOINT_EVERY = 50
+_CONFIG = TraceConfig(
+    events=_EVENTS,
+    processors=48,
+    mean_lifetime=200.0,
+    heavy_fraction=0.15,
+    shape=SystemConfig(
+        min_vertices=4, max_vertices=12, deadline_ratio=(0.35, 1.0)
+    ),
+)
+
+
+def test_bench_recovery(tmp_path):
+    trace = generate_trace(_CONFIG, _SEED)
+    journal_path = tmp_path / "server.journal"
+    checkpoint_path = tmp_path / "server.ckpt.json"
+
+    # Build the durable state a crashed server leaves behind (fsync off:
+    # the "crash" is simulated, and we are timing recovery, not commits).
+    with Journal(journal_path, fsync=False) as journal:
+        durable = DurableController(
+            AdmissionController(_CONFIG.processors), journal,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=_CHECKPOINT_EVERY,
+        )
+        report = replay(durable, trace)
+        entries = journal.entries
+
+    _, checkpoint_offset = load_checkpoint(checkpoint_path)
+    tail = entries - checkpoint_offset
+
+    started = time.perf_counter()
+    from_ckpt, ckpt_report = recover(checkpoint_path, journal_path)
+    checkpoint_seconds = time.perf_counter() - started
+    assert ckpt_report.checkpoint_used
+    assert ckpt_report.replayed == tail
+
+    started = time.perf_counter()
+    from_genesis, genesis_report = recover(None, journal_path)
+    genesis_seconds = time.perf_counter() - started
+    assert not genesis_report.checkpoint_used
+    assert genesis_report.replayed == entries - 1
+
+    # Both paths must reach the same state, and a sound one.
+    assert from_ckpt.snapshot() == from_genesis.snapshot()
+    assert from_ckpt.verify(exact=True)
+
+    speedup = genesis_seconds / checkpoint_seconds if checkpoint_seconds else 0.0
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "events": report.events,
+                "processors": _CONFIG.processors,
+                "seed": _SEED,
+                "journal_entries": entries,
+                "checkpoint_every": _CHECKPOINT_EVERY,
+                "checkpoint_offset": checkpoint_offset,
+                "tail_replayed": tail,
+                "peak_admitted": report.peak_admitted,
+                "admitted_at_crash": from_ckpt.admitted_count,
+                "checkpoint_recovery_seconds": checkpoint_seconds,
+                "genesis_replay_seconds": genesis_seconds,
+                "speedup": speedup,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print(
+        f"\nrecovery of {entries} journaled event(s): checkpoint "
+        f"{checkpoint_seconds:.3f}s (tail of {tail}) vs genesis replay "
+        f"{genesis_seconds:.3f}s ({speedup:.0f}x)"
+    )
+
+    # The tentpole's acceptance criterion.
+    assert speedup >= 10.0, (
+        f"checkpoint recovery only {speedup:.1f}x faster than genesis "
+        f"replay ({checkpoint_seconds:.3f}s vs {genesis_seconds:.3f}s)"
+    )

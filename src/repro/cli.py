@@ -169,8 +169,10 @@ def analyze_main(argv: list[str] | None = None) -> int:
         }
         import json as _json
 
+        from repro.io import atomic_write_text
+
         _write_artifact(
-            lambda p: p.write_text(_json.dumps(document, indent=2) + "\n"),
+            lambda p: atomic_write_text(p, _json.dumps(document, indent=2) + "\n"),
             args.explain,
         )
     else:

@@ -125,6 +125,28 @@ class ShardState:
         return tuple(task for _, _, task in self._entries)
 
     @property
+    def entries(self) -> tuple[tuple[SporadicTask, int], ...]:
+        """``(task, rank)`` pairs in canonical order -- enough to rebuild an
+        identical shard with ``ShardState(shard.entries)`` (used by the
+        controller's lossless snapshot/restore path)."""
+        return tuple((task, rank) for _, rank, task in self._entries)
+
+    def state_vector(self) -> tuple[tuple[float, ...], ...]:
+        """The derived float arrays, for bit-exactness assertions.
+
+        Two shards holding the same ``(deadline, rank, C, u)`` contents have
+        identical state vectors *regardless of mutation history* -- the
+        invariant that makes checkpoint restore (a fresh left-to-right
+        rebuild) float-equal to the incrementally maintained original.
+        """
+        return (
+            tuple(self._deadlines),
+            tuple(self._cum_wcet),
+            tuple(self._cum_util),
+            tuple(self._cum_util_deadline),
+        )
+
+    @property
     def utilization(self) -> float:
         """Total long-run rate ``sum_j u_j`` of the shard."""
         return self._cum_util[-1] if self._cum_util else 0.0

@@ -41,3 +41,9 @@ class GenerationError(ReproError):
 class OnlineError(ReproError):
     """An online admission-control request was malformed (unknown or
     duplicate task id, unnamed task, bad event trace...)."""
+
+
+class PersistenceError(OnlineError):
+    """Durable controller state (checkpoint, journal, or trace file) is
+    corrupt beyond the recoverable torn tail, or its schema version is not
+    supported by this build."""

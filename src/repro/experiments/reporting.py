@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.io import atomic_writer
 
 __all__ = ["Table"]
 
@@ -60,8 +61,8 @@ class Table:
         return "\n".join(lines)
 
     def to_csv(self, path: str | Path) -> None:
-        """Write the table (with a title comment) as CSV."""
-        with open(path, "w", newline="") as handle:
+        """Write the table (with a title comment) as CSV, atomically."""
+        with atomic_writer(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow([f"# {self.title}"])
             writer.writerow(list(self.columns))

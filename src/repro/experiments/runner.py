@@ -38,6 +38,7 @@ from repro.experiments import (
     exp_overhead,
     exp_partition,
     exp_pool_policy,
+    exp_recovery,
     exp_reservation,
     exp_response,
     exp_runtime,
@@ -78,6 +79,7 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "EXP-N": ("analytic response-time headroom", exp_response.run),
     "EXP-O": ("dedicated-cluster capacity fragmentation", exp_fragmentation.run),
     "EXP-P": ("online admission soak + incremental throughput", exp_online.run),
+    "EXP-R": ("crash-injection soak + recovery throughput", exp_recovery.run),
 }
 
 

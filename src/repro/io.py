@@ -1,0 +1,161 @@
+"""Crash-safe file I/O shared by every artifact writer and JSONL reader.
+
+Every file this library persists -- decision CSVs, JSONL traces and
+journals, metrics/explain JSON dumps, checkpoints -- used to be written with
+a bare ``open(path, "w")``: a crash (or full disk) mid-write leaves a torn,
+half-serialized file that silently poisons the next run.  This module is the
+single choke point fixing that, with two complementary halves:
+
+**Atomic writes** (:func:`atomic_write_text`, :func:`atomic_write_bytes`,
+:func:`atomic_writer`) stage the content in a temporary file *in the target
+directory*, flush and ``fsync`` it, then publish with ``os.replace`` -- which
+POSIX guarantees is atomic within a filesystem.  Readers therefore observe
+either the complete old file or the complete new file, never a prefix.
+
+**Torn-tail-tolerant JSONL reading** (:func:`read_jsonl`).  Append-only
+files (event journals, traces under concurrent writers) cannot be replaced
+atomically, so the normal post-crash state is a final line cut mid-record
+with no trailing newline.  :func:`read_jsonl` distinguishes that benign torn
+tail (skipped with a logged warning, reported to the caller) from mid-file
+corruption -- an unparsable line that *is* newline-terminated, or garbage
+followed by further records -- which raises the typed
+:class:`~repro.errors.PersistenceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any
+
+from repro.errors import PersistenceError
+from repro.obs.logging import get_logger
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "atomic_writer",
+    "fsync_directory",
+    "read_jsonl",
+]
+
+_log = get_logger(__name__)
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Best-effort fsync of *directory* so a just-published rename is durable.
+
+    Silently skipped on platforms/filesystems that cannot open directories
+    (the rename itself is still atomic there).
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(
+    path: str | Path,
+    mode: str = "w",
+    newline: str | None = None,
+    encoding: str | None = None,
+    fsync: bool = True,
+) -> Iterator[IO[Any]]:
+    """Context manager yielding a handle whose content replaces *path* atomically.
+
+    The handle writes to a temporary file in the same directory; on clean
+    exit the temporary is flushed, optionally fsynced, and renamed over
+    *path* with ``os.replace``.  On any exception the temporary is removed
+    and *path* is left untouched.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``).
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer requires mode 'w' or 'wb', got {mode!r}")
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    if encoding is None and mode == "w":
+        encoding = "utf-8"
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, newline=newline, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        if fsync:
+            fsync_directory(directory)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8", fsync: bool = True
+) -> None:
+    """Atomically replace *path* with *text* (temp file + fsync + rename)."""
+    with atomic_writer(path, "w", encoding=encoding, fsync=fsync) as handle:
+        handle.write(text)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, fsync: bool = True) -> None:
+    """Atomically replace *path* with *data* (temp file + fsync + rename)."""
+    with atomic_writer(path, "wb", fsync=fsync) as handle:
+        handle.write(data)
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict], bool]:
+    """Parse a JSONL file, tolerating (only) a crash-torn final line.
+
+    Returns ``(records, torn)`` where *records* is the list of parsed JSON
+    objects and *torn* is whether a torn tail was skipped.  Blank lines are
+    ignored.  A line that fails to parse is treated as:
+
+    * a **torn tail** -- skipped with a logged warning -- iff it is the last
+      line of the file *and* the file does not end with a newline (the
+      signature of a writer killed mid-``write``);
+    * **mid-file corruption** otherwise, raising
+      :class:`~repro.errors.PersistenceError`: a newline-terminated record
+      was fully written, so an unparsable one means the file itself is
+      damaged and silently dropping data would be unsound.
+    """
+    raw = Path(path).read_bytes()
+    text = raw.decode("utf-8", errors="replace")
+    ends_with_newline = text.endswith("\n")
+    lines = text.splitlines()
+    records: list[dict] = []
+    torn = False
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            is_last = index == len(lines) - 1
+            if is_last and not ends_with_newline:
+                torn = True
+                _log.warning(
+                    "%s: skipping torn final line %d (%d byte(s)); the "
+                    "writer crashed mid-record",
+                    path, index + 1, len(line.encode("utf-8")),
+                )
+                break
+            raise PersistenceError(
+                f"{path}:{index + 1}: corrupt JSONL record: {exc}"
+            ) from exc
+    return records, torn

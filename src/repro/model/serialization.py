@@ -110,8 +110,10 @@ def system_from_dict(data: dict[str, Any]) -> TaskSystem:
 
 
 def save_system(system: TaskSystem, path: str | Path) -> None:
-    """Write *system* to *path* as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(system_to_dict(system), indent=2))
+    """Write *system* to *path* as pretty-printed JSON (atomic write)."""
+    from repro.io import atomic_write_text
+
+    atomic_write_text(path, json.dumps(system_to_dict(system), indent=2))
 
 
 def load_system(path: str | Path) -> TaskSystem:

@@ -30,6 +30,7 @@ Typical use::
 
 from repro.obs.events import (
     Admission,
+    Checkpoint,
     Departure,
     MinprocsStep,
     ObsContext,
@@ -37,6 +38,7 @@ from repro.obs.events import (
     PartitionAttempt,
     PhaseComplete,
     Reclamation,
+    Recovery,
     Rejection,
     current_context,
     tracing,
@@ -63,6 +65,8 @@ __all__ = [
     "Admission",
     "Departure",
     "Reclamation",
+    "Checkpoint",
+    "Recovery",
     "current_context",
     "tracing",
     "MetricsRegistry",

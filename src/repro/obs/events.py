@@ -33,6 +33,8 @@ __all__ = [
     "Admission",
     "Departure",
     "Reclamation",
+    "Checkpoint",
+    "Recovery",
     "ObsContext",
     "current_context",
     "tracing",
@@ -152,6 +154,37 @@ class Departure(ObsEvent):
 
 
 @dataclass(frozen=True)
+class Checkpoint(ObsEvent):
+    """The durable controller wrote (rotated) a state checkpoint.
+
+    ``journal_entries`` is the number of journal records the snapshot
+    reflects -- recovery replays only records after it.
+    """
+
+    path: str
+    journal_entries: int
+    admitted: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class Recovery(ObsEvent):
+    """A controller was rebuilt from durable state after a (simulated) crash.
+
+    ``checkpoint_used`` is whether a snapshot seeded the rebuild (otherwise
+    the journal was replayed from genesis); ``replayed`` counts journal
+    records applied on top; ``torn_tail`` records whether a crash-torn final
+    journal record was detected and skipped.
+    """
+
+    checkpoint_used: bool
+    journal_entries: int
+    replayed: int
+    torn_tail: bool
+    admitted: int
+
+
+@dataclass(frozen=True)
 class Reclamation(ObsEvent):
     """Outcome of a post-departure reclamation/compaction pass.
 
@@ -202,8 +235,10 @@ class ObsContext:
         }
 
     def to_json(self, path: str | Path, indent: int = 2) -> None:
-        """Write the trace as a JSON document to *path*."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=indent) + "\n")
+        """Write the trace as a JSON document to *path* (atomic write)."""
+        from repro.io import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=indent) + "\n")
 
 
 _CURRENT: ContextVar[ObsContext | None] = ContextVar(

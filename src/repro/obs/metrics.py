@@ -161,13 +161,17 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def to_json(self, path: str | Path, indent: int = 2) -> None:
-        """Write :meth:`snapshot` as a JSON document."""
-        Path(path).write_text(json.dumps(self.snapshot(), indent=indent) + "\n")
+        """Write :meth:`snapshot` as a JSON document (atomic write)."""
+        from repro.io import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.snapshot(), indent=indent) + "\n")
 
     def to_csv(self, path: str | Path) -> None:
-        """Write :meth:`snapshot` as rows of ``kind,name,field,value``."""
+        """Write :meth:`snapshot` as ``kind,name,field,value`` rows (atomic)."""
+        from repro.io import atomic_writer
+
         snap = self.snapshot()
-        with open(path, "w", newline="") as fh:
+        with atomic_writer(path, "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(["kind", "name", "field", "value"])
             for name, value in snap["counters"].items():

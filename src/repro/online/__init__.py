@@ -11,8 +11,12 @@ live -- without re-running the two-phase analysis per event:
     (:meth:`~repro.online.controller.AdmissionController.reanalyze`).
 :mod:`repro.online.trace`
     JSONL arrival/departure traces, deterministic replay, decision CSVs.
+:mod:`repro.online.persist`
+    durable state: append-only event :class:`~repro.online.persist.Journal`,
+    atomic checkpoints, and crash :func:`~repro.online.persist.recover`
+    (restore the checkpoint + oracle-checked replay of the journal tail).
 :mod:`repro.online.cli`
-    the ``fedcons-admit`` command: generate and replay traces.
+    the ``fedcons-admit`` command: generate, replay and recover traces.
 
 The per-processor demand ledgers live in :mod:`repro.core.shard` (shared
 with the batch PARTITION); the sporadic trace generator lives in
@@ -22,9 +26,19 @@ with the batch PARTITION); the sporadic trace generator lives in
 from repro.online.controller import (
     HIGH_DENSITY,
     LOW_DENSITY,
+    SNAPSHOT_SCHEMA,
     AdmissionController,
     AdmissionDecision,
     DepartureReceipt,
+    template_digest,
+)
+from repro.online.persist import (
+    DurableController,
+    Journal,
+    RecoveryReport,
+    load_checkpoint,
+    recover,
+    write_checkpoint,
 )
 from repro.online.trace import (
     ReplayRecord,
@@ -38,9 +52,17 @@ from repro.online.trace import (
 __all__ = [
     "HIGH_DENSITY",
     "LOW_DENSITY",
+    "SNAPSHOT_SCHEMA",
     "AdmissionController",
     "AdmissionDecision",
     "DepartureReceipt",
+    "template_digest",
+    "DurableController",
+    "Journal",
+    "RecoveryReport",
+    "write_checkpoint",
+    "load_checkpoint",
+    "recover",
     "TraceEvent",
     "ReplayRecord",
     "ReplayReport",

@@ -1,16 +1,32 @@
-"""``fedcons-admit``: generate and replay online admission traces.
+"""``fedcons-admit``: generate, replay and recover online admission traces.
 
-Two subcommands::
+Three subcommands::
 
     fedcons-admit generate TRACE.jsonl --events 200 -m 16 --seed 0
         write a deterministic sporadic arrival/departure trace (JSONL).
 
     fedcons-admit replay TRACE.jsonl -m 16 [--csv OUT.csv]
                   [--oracle-every N] [--metrics OUT.json] [--no-repack]
+                  [--journal J.jsonl] [--checkpoint C.json]
+                  [--checkpoint-every N] [--recover] [--no-fsync]
         feed the trace through an AdmissionController and report per-event
         accept/reject decisions, throughput and admission latency; with
         ``--oracle-every N`` every N-th event is cross-checked against a
-        from-scratch batch FEDCONS re-analysis.
+        from-scratch batch FEDCONS re-analysis.  With ``--journal`` every
+        decision is committed to an append-only event journal (fsync per
+        commit unless ``--no-fsync``), with ``--checkpoint-every N`` the
+        state is atomically re-published to ``--checkpoint`` every N events,
+        and ``--recover`` first rebuilds the controller from the checkpoint
+        + journal before replaying (so an interrupted replay resumes where
+        its durable state left off).
+
+    fedcons-admit recover JOURNAL.jsonl [--checkpoint C.json]
+                  [--verify] [--exact] [--snapshot OUT.json]
+        rebuild a controller from its durable state after a crash: restore
+        the checkpoint (when given and present; otherwise replay from the
+        journal's genesis record), replay the journal tail, cross-check
+        every replayed decision against the recorded one, and optionally
+        verify the result against the batch oracle.
 """
 
 from __future__ import annotations
@@ -79,7 +95,56 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the compaction pass after low-density departures "
         "(faster departures, suspends batch-oracle equivalence)",
     )
+    rep.add_argument(
+        "--journal", type=Path, default=None, metavar="J.jsonl",
+        help="commit every decision to this append-only event journal "
+        "(fsync per commit); crash-torn tails are truncated on open",
+    )
+    rep.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="C.json",
+        help="checkpoint file for --checkpoint-every / --recover",
+    )
+    rep.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="atomically re-publish the controller state to --checkpoint "
+        "every N journaled events (0 = only on clean completion)",
+    )
+    rep.add_argument(
+        "--recover", action="store_true",
+        help="rebuild the controller from --checkpoint + --journal before "
+        "replaying (resume an interrupted replay)",
+    )
+    rep.add_argument(
+        "--no-fsync", action="store_true",
+        help="do not fsync each journal commit (faster; an OS crash may "
+        "lose the last few events, a process crash may not)",
+    )
     add_observability_arguments(rep)
+
+    rec = sub.add_parser(
+        "recover",
+        help="rebuild a controller from checkpoint + journal after a crash",
+    )
+    rec.add_argument("journal", help="append-only event journal (JSONL)")
+    rec.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="C.json",
+        help="checkpoint to restore before replaying the journal tail "
+        "(omitted or missing: full replay from the genesis record)",
+    )
+    rec.add_argument(
+        "--verify", action="store_true",
+        help="verify the recovered state (schedulability of every template "
+        "and bucket, batch-oracle equivalence while canonical)",
+    )
+    rec.add_argument(
+        "--exact", action="store_true",
+        help="with --verify, use the pseudo-polynomial exact EDF test",
+    )
+    rec.add_argument(
+        "--snapshot", type=Path, default=None, metavar="OUT.json",
+        help="write the recovered controller's lossless snapshot as JSON",
+    )
+    add_observability_arguments(rec)
     return parser
 
 
@@ -108,18 +173,122 @@ def _generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_cursor(events, records) -> int:
+    """How many leading trace *events* the journal *records* already cover.
+
+    The journal holds one record per controller call, but ``replay`` never
+    calls the controller for an *absent* departure (the task was rejected or
+    already gone), so those trace events leave no record: the cursor is found
+    by aligning the two sequences.  Trailing absent departures that may or
+    may not have been processed before the crash are left unconsumed --
+    re-processing them is an idempotent no-op.
+    """
+    from repro.errors import PersistenceError
+
+    decisions = [r for r in records if r.get("kind") in ("admit", "depart")]
+    cursor = 0
+    j = 0
+    admitted: set[str] = set()
+    for event in events:
+        if j >= len(decisions):
+            break
+        record = decisions[j]
+        if event.op == "admit":
+            if record["kind"] != "admit" or record["id"] != event.task_id:
+                raise PersistenceError(
+                    f"journal record {record.get('n')} "
+                    f"({record['kind']} {record.get('id')!r}) does not match "
+                    f"trace event {cursor + 1} (admit {event.task_id!r}); "
+                    "this journal was not produced by this trace"
+                )
+            if record["accepted"]:
+                admitted.add(event.task_id)
+            j += 1
+        elif event.task_id in admitted:
+            if record["kind"] != "depart" or record["id"] != event.task_id:
+                raise PersistenceError(
+                    f"journal record {record.get('n')} "
+                    f"({record['kind']} {record.get('id')!r}) does not match "
+                    f"trace event {cursor + 1} (depart {event.task_id!r}); "
+                    "this journal was not produced by this trace"
+                )
+            admitted.discard(event.task_id)
+            j += 1
+        # absent departure: no controller call, no journal record
+        cursor += 1
+    if j < len(decisions):
+        raise PersistenceError(
+            f"journal holds {len(decisions) - j} decision record(s) beyond "
+            "the end of the trace; this journal was not produced by this "
+            "trace"
+        )
+    return cursor
+
+
 def _replay(args: argparse.Namespace) -> int:
     from repro.online.controller import AdmissionController
+    from repro.online.persist import DurableController, Journal, recover
     from repro.online.trace import load_trace, replay
 
+    if args.checkpoint_every < 0:
+        print("error: --checkpoint-every must be >= 0", file=sys.stderr)
+        return 2
+    if args.checkpoint_every and args.checkpoint is None:
+        print(
+            "error: --checkpoint-every requires --checkpoint", file=sys.stderr
+        )
+        return 2
+    if args.recover and args.journal is None:
+        print("error: --recover requires --journal", file=sys.stderr)
+        return 2
     if args.metrics is not None:
         metrics.reset()
         metrics.enable()
     events = load_trace(args.trace)
-    controller = AdmissionController(
-        args.processors, repack_on_departure=not args.no_repack
-    )
+    if args.recover and args.journal.exists():
+        controller, recovery = recover(args.checkpoint, args.journal)
+        print(recovery.describe())
+        if controller.total_processors != args.processors:
+            print(
+                f"error: recovered state is for m="
+                f"{controller.total_processors}, not m={args.processors}",
+                file=sys.stderr,
+            )
+            return 2
+        if not controller.repack_enabled and not args.no_repack:
+            print("note: recovered controller has repack_on_departure=False")
+        records, _ = Journal.read(args.journal)
+        cursor = _resume_cursor(events, records)
+        print(
+            f"resuming at trace event {cursor + 1} of {len(events)} "
+            f"({cursor} already journaled)"
+        )
+        events = events[cursor:]
+    else:
+        controller = AdmissionController(
+            args.processors, repack_on_departure=not args.no_repack
+        )
+    if args.journal is not None:
+        journal = Journal(args.journal, fsync=not args.no_fsync)
+        controller = DurableController(
+            controller, journal,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
     report = replay(controller, events, oracle_every=args.oracle_every)
+    if args.journal is not None:
+        if args.checkpoint is not None:
+            controller.checkpoint()
+            print(
+                f"journal {args.journal} at {controller.journal.entries} "
+                f"record(s); checkpoint rotated to {args.checkpoint}"
+            )
+        else:
+            print(
+                f"journal {args.journal} at {controller.journal.entries} "
+                "record(s)"
+            )
+        controller.close()
     print(report.describe())
     if args.metrics is not None:
         snapshot = metrics.snapshot()
@@ -131,7 +300,7 @@ def _replay(args: argparse.Namespace) -> int:
                 f"(max {1e6 * admit_timer['max_seconds']:,.1f} us)"
             )
         try:
-            args.metrics.write_text(json.dumps(snapshot, indent=2) + "\n")
+            metrics.to_json(args.metrics)
         except OSError as exc:
             print(f"error: cannot write {args.metrics}: {exc}", file=sys.stderr)
             return 2
@@ -146,6 +315,34 @@ def _replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recover(args: argparse.Namespace) -> int:
+    from repro.io import atomic_write_text
+    from repro.online.persist import recover
+
+    controller, report = recover(
+        args.checkpoint, args.journal, verify=args.verify, exact=args.exact
+    )
+    print(report.describe())
+    if args.verify:
+        print(
+            "recovered state verified"
+            + (" (exact EDF test)" if args.exact else "")
+        )
+    if args.snapshot is not None:
+        try:
+            atomic_write_text(
+                args.snapshot,
+                json.dumps(controller.snapshot(), indent=2) + "\n",
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.snapshot}: {exc}", file=sys.stderr
+            )
+            return 2
+        print(f"snapshot written to {args.snapshot}")
+    return 0
+
+
 def admit_main(argv: list[str] | None = None) -> int:
     """CLI entry point (see module docstring)."""
     parser = _build_parser()
@@ -154,6 +351,8 @@ def admit_main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "generate":
             return _generate(args)
+        if args.command == "recover":
+            return _recover(args)
         return _replay(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

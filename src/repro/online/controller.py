@@ -55,15 +55,18 @@ assignment (minus the departed task) is kept.  The state remains sound
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import OnlineError
+from repro.errors import OnlineError, PersistenceError
 from repro.core.fedcons import FailureReason, FedConsResult, fedcons
 from repro.core.minprocs import minprocs
 from repro.core.partition import AdmissionTest, PartitionResult, TaskOrder
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, Slot
 from repro.core.shard import ShardState
+from repro.model.serialization import task_from_dict, task_to_dict
 from repro.model.sporadic import SporadicTask
 from repro.model.task import SporadicDAGTask
 from repro.model.taskset import TaskSystem
@@ -72,17 +75,25 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
 
 __all__ = [
+    "SNAPSHOT_SCHEMA",
     "HIGH_DENSITY",
     "LOW_DENSITY",
     "AdmissionDecision",
     "DepartureReceipt",
     "AdmissionController",
+    "template_digest",
 ]
 
 _log = get_logger(__name__)
 
 HIGH_DENSITY = "high_density"
 LOW_DENSITY = "low_density"
+
+#: Version of the lossless :meth:`AdmissionController.snapshot` format.
+#: Version 1 was the summary-only (irrecoverable) format of PR 3; version 2
+#: adds everything :meth:`AdmissionController.restore` needs for exact
+#: reconstruction.
+SNAPSHOT_SCHEMA = 2
 
 #: Rejection reason for a task that is not constrained-deadline (batch
 #: ``fedcons`` raises ``ModelError`` instead; an online server must not).
@@ -151,6 +162,76 @@ class _Cluster:
     __slots__ = ("task", "processors", "schedule", "seq")
 
 
+def _encode_vertex(vertex) -> str:
+    return str(vertex)
+
+
+def _decode_vertex(text: str):
+    try:
+        return int(text)
+    except (TypeError, ValueError):
+        return text
+
+
+def _template_to_dict(schedule: Schedule) -> dict:
+    """JSON-ready lossless encoding of one dedicated LS template."""
+    return {
+        "processors": schedule.processors,
+        "makespan": schedule.makespan,
+        "slots": [
+            [_encode_vertex(s.vertex), s.start, s.end, s.processor]
+            for s in schedule.slots
+        ],
+        "digest": template_digest(schedule),
+    }
+
+
+def _template_from_dict(data: dict, task: SporadicDAGTask) -> Schedule:
+    """Rebuild (and integrity-check) a template from its snapshot record."""
+    try:
+        slots = [
+            Slot(
+                start=float(start), end=float(end),
+                processor=int(proc), vertex=_decode_vertex(vertex),
+            )
+            for vertex, start, end, proc in data["slots"]
+        ]
+        schedule = Schedule(task.dag, slots, int(data["processors"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"malformed template record for task {task.name!r}: {exc}"
+        ) from exc
+    expected = data.get("digest")
+    if expected is not None and template_digest(schedule) != expected:
+        raise PersistenceError(
+            f"template digest mismatch for task {task.name!r}: the snapshot "
+            "does not describe the schedule it claims to"
+        )
+    return schedule
+
+
+def template_digest(schedule: Schedule) -> str:
+    """Content digest of a dedicated LS template.
+
+    A stable blake2b over the cluster size and the (sorted) slot table --
+    float-exact via JSON's repr round-trip -- so a restored snapshot can
+    prove its templates are bit-identical to what the original controller
+    held, without re-running MINPROCS.
+    """
+    payload = json.dumps(
+        {
+            "m": schedule.processors,
+            "slots": sorted(
+                [_encode_vertex(s.vertex), s.start, s.end, s.processor]
+                for s in schedule.slots
+            ),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
 class AdmissionController:
     """Live FEDCONS state on ``m`` processors with incremental admit/depart.
 
@@ -203,6 +284,11 @@ class AdmissionController:
     def canonical(self) -> bool:
         """Whether the state provably equals the batch re-analysis."""
         return self._canonical
+
+    @property
+    def repack_enabled(self) -> bool:
+        """Whether departures trigger the compaction pass."""
+        return self._repack
 
     @property
     def admitted_ids(self) -> tuple[str, ...]:
@@ -266,9 +352,54 @@ class AdmissionController:
         return self.to_partition_result().verify(exact=exact)
 
     def snapshot(self) -> dict:
-        """JSON-ready summary of the live state."""
+        """Lossless, JSON-ready image of the live state (schema-versioned).
+
+        Everything :meth:`restore` needs for *exact* reconstruction is
+        captured: the admission-test configuration (``ls_order``,
+        ``repack_on_departure``), the sequence counter and ``canonical``
+        flag, the full free-pool layout (physical processor behind every
+        shared bucket, *including empty buckets* -- first-fit placement
+        depends on their positions), and per admitted task its serialized
+        model, admission sequence number, and either the dedicated LS
+        template (slots + digest; restoring never re-runs MINPROCS) or the
+        shared-bucket index.  The summary keys of the original format are
+        retained on top for dashboards and logs.
+
+        The result is a pure function of the controller state:
+        ``snapshot -> restore -> snapshot`` is a fixed point, which the
+        crash-recovery suite pins.
+        """
+        tasks: list[dict] = []
+        for name, task in self._tasks.items():
+            cluster = self._clusters.get(name)
+            if cluster is not None:
+                tasks.append(
+                    {
+                        "id": name,
+                        "kind": HIGH_DENSITY,
+                        "seq": cluster.seq,
+                        "task": task_to_dict(task),
+                        "cluster": list(cluster.processors),
+                        "template": _template_to_dict(cluster.schedule),
+                    }
+                )
+            else:
+                entry = self._low[name]
+                tasks.append(
+                    {
+                        "id": name,
+                        "kind": LOW_DENSITY,
+                        "seq": entry.seq,
+                        "task": task_to_dict(task),
+                        "bucket": entry.bucket,
+                    }
+                )
         return {
+            "schema_version": SNAPSHOT_SCHEMA,
             "processors": self._m,
+            "ls_order": self._ls_order,
+            "repack_on_departure": self._repack,
+            "seq": self._seq,
             "admitted": len(self._tasks),
             "high_density": len(self._clusters),
             "low_density": len(self._low),
@@ -277,6 +408,7 @@ class AdmissionController:
             "occupied_shared": sum(1 for b in self._buckets if b),
             "shared_utilization": sum(s.utilization for s in self._shards),
             "canonical": self._canonical,
+            "pool": list(self._shared),
             "clusters": {
                 name: list(c.processors) for name, c in self._clusters.items()
             },
@@ -285,7 +417,121 @@ class AdmissionController:
                 for k, bucket in enumerate(self._buckets)
                 if bucket
             },
+            "tasks": tasks,
         }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "AdmissionController":
+        """Rebuild a controller from a :meth:`snapshot` -- exactly.
+
+        No analysis is re-run: dedicated templates are reloaded from their
+        serialized slots (and integrity-checked against the stored digest),
+        and the per-bucket ``DBF*`` ledgers are recomputed left-to-right
+        from the sorted entries, which by the :class:`ShardState`
+        history-independence guarantee reproduces the original floats bit
+        for bit.  ``restore(snapshot(c))`` is indistinguishable from ``c``:
+        same snapshot, same future decisions.
+
+        Raises
+        ------
+        PersistenceError
+            On an unsupported ``schema_version`` or a structurally
+            inconsistent snapshot (overlapping processor grants, digest
+            mismatches, out-of-range bucket indices...).
+        """
+        version = snapshot.get("schema_version")
+        if version != SNAPSHOT_SCHEMA:
+            raise PersistenceError(
+                f"unsupported snapshot schema_version {version!r} "
+                f"(this build reads version {SNAPSHOT_SCHEMA}); summary-only "
+                "version-1 snapshots cannot be restored"
+            )
+        try:
+            m = int(snapshot["processors"])
+            pool = [int(p) for p in snapshot["pool"]]
+            task_records = snapshot["tasks"]
+            seq = int(snapshot["seq"])
+            canonical = bool(snapshot["canonical"])
+            ls_order = str(snapshot["ls_order"])
+            repack = bool(snapshot["repack_on_departure"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"malformed snapshot: {exc}") from exc
+        controller = cls(m, ls_order=ls_order, repack_on_departure=repack)
+        controller._shared = pool
+        controller._buckets = [[] for _ in pool]
+        controller._shards = []
+        granted: set[int] = set()
+        # Admission (seq) order: the canonical system order of _tasks and the
+        # within-bucket order that the compaction replay depends on.
+        try:
+            task_records = sorted(task_records, key=lambda r: int(r["seq"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"malformed snapshot task record: {exc}") from exc
+        for record in task_records:
+            try:
+                name = str(record["id"])
+                kind = record["kind"]
+                task = task_from_dict(record["task"])
+                task_seq = int(record["seq"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise PersistenceError(
+                    f"malformed snapshot task record: {exc}"
+                ) from exc
+            if task.name != name or name in controller._tasks:
+                raise PersistenceError(
+                    f"snapshot task record {name!r} is inconsistent with its "
+                    "serialized task model"
+                )
+            if kind == HIGH_DENSITY:
+                processors = tuple(int(p) for p in record["cluster"])
+                schedule = _template_from_dict(record["template"], task)
+                if schedule.processors != len(processors):
+                    raise PersistenceError(
+                        f"template of {name!r} is sized for "
+                        f"{schedule.processors} processors but the snapshot "
+                        f"grants {len(processors)}"
+                    )
+                if not schedule.meets_deadline(task.deadline):
+                    raise PersistenceError(
+                        f"restored template of {name!r} misses its deadline "
+                        f"({schedule.makespan:g} > {task.deadline:g})"
+                    )
+                granted.update(processors)
+                controller._clusters[name] = _Cluster(
+                    task=task, processors=processors,
+                    schedule=schedule, seq=task_seq,
+                )
+            elif kind == LOW_DENSITY:
+                bucket = int(record["bucket"])
+                if not 0 <= bucket < len(pool):
+                    raise PersistenceError(
+                        f"task {name!r} sits in bucket {bucket} but the "
+                        f"snapshot pool has {len(pool)} buckets"
+                    )
+                entry = _LowEntry(
+                    task=task, sporadic=task.to_sporadic(),
+                    seq=task_seq, bucket=bucket,
+                )
+                controller._buckets[bucket].append(entry)
+                controller._low[name] = entry
+            else:
+                raise PersistenceError(
+                    f"task {name!r} has unknown kind {kind!r}"
+                )
+            controller._tasks[name] = task
+        claimed = sorted(granted) + sorted(pool)
+        if sorted(claimed) != list(range(m)) or len(claimed) != m:
+            raise PersistenceError(
+                "snapshot processor grants and pool do not partition "
+                f"the {m}-processor platform"
+            )
+        controller._shards = [
+            ShardState((e.sporadic, e.seq) for e in bucket)
+            for bucket in controller._buckets
+        ]
+        controller._seq = seq
+        controller._canonical = canonical
+        return controller
 
     # ------------------------------------------------------------------
     # the batch oracle
@@ -519,12 +765,15 @@ class AdmissionController:
             If *task_id* is not currently admitted.
         """
         started = time.perf_counter()
+        # Validate before bumping the sequence counter: a failed request must
+        # not mutate state, or a journal replay (which only sees successful
+        # events) could never reproduce the counter.
+        if task_id not in self._clusters and task_id not in self._low:
+            raise OnlineError(f"no admitted task {task_id!r} to depart")
         self._seq += 1
         if task_id in self._clusters:
             return self._depart_high(task_id, started)
-        if task_id in self._low:
-            return self._depart_low(task_id, started)
-        raise OnlineError(f"no admitted task {task_id!r} to depart")
+        return self._depart_low(task_id, started)
 
     def _depart_high(self, task_id: str, started: float) -> DepartureReceipt:
         cluster = self._clusters.pop(task_id)

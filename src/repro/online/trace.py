@@ -27,6 +27,7 @@ from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from repro.errors import OnlineError
+from repro.io import atomic_write_text, atomic_writer, read_jsonl
 from repro.model.serialization import task_from_dict, task_to_dict
 from repro.model.task import SporadicDAGTask
 from repro.online.controller import AdmissionController
@@ -82,32 +83,30 @@ class TraceEvent:
 
 
 def save_trace(events: Iterable[TraceEvent], path: str | Path) -> None:
-    """Write *events* as JSONL (one compact JSON object per line)."""
+    """Write *events* as JSONL (one compact JSON object per line).
+
+    The write is atomic (temp file + fsync + rename): a crash mid-save
+    leaves either the previous trace or the complete new one, never a torn
+    prefix.
+    """
     lines = [
         json.dumps(event.to_dict(), separators=(",", ":"), sort_keys=True)
         for event in events
     ]
-    Path(path).write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_trace(path: str | Path) -> list[TraceEvent]:
     """Parse a JSONL trace file.
 
-    Raises
-    ------
-    OnlineError
-        On malformed JSON or events failing :class:`TraceEvent` validation.
+    A crash-torn final line (unparsable and missing its newline -- the
+    normal state of a trace whose writer died mid-record) is skipped with a
+    logged warning; mid-file corruption and events failing
+    :class:`TraceEvent` validation raise :class:`OnlineError` (the former
+    via its :class:`~repro.errors.PersistenceError` subtype).
     """
-    events: list[TraceEvent] = []
-    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise OnlineError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
-        events.append(TraceEvent.from_dict(record))
-    return events
+    records, _ = read_jsonl(path)
+    return [TraceEvent.from_dict(record) for record in records]
 
 
 @dataclass(frozen=True)
@@ -169,10 +168,10 @@ class ReplayReport:
         return self.events / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
     def to_csv(self, path: str | Path) -> None:
-        """Write the per-event decision table as deterministic CSV."""
+        """Write the per-event decision table as deterministic CSV (atomic)."""
         import csv
 
-        with open(path, "w", newline="") as fh:
+        with atomic_writer(path, "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(CSV_HEADER)
             for record in self.records:

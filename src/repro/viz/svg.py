@@ -194,5 +194,7 @@ def trace_to_svg(
 
 
 def write_svg(svg: str, path: str | Path) -> None:
-    """Write an SVG string to *path*."""
-    Path(path).write_text(svg)
+    """Write an SVG string to *path* (atomic write)."""
+    from repro.io import atomic_write_text
+
+    atomic_write_text(path, svg)

@@ -282,6 +282,9 @@ class TestControllerBasics:
         before = controller.snapshot()
         assert not controller.admit(_high_task("h2", width=3)).accepted
         after = controller.snapshot()
+        # Only the sequence counter advances on a rejection (rejected
+        # arrivals are part of the event history the journal replays).
+        assert after.pop("seq") == before.pop("seq") + 1
         assert after == before
 
     def test_high_density_admit_carves_right_tail(self):
