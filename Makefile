@@ -1,6 +1,6 @@
 # Convenience targets for the fedcons reproduction.
 
-.PHONY: install test bench experiments quick-experiments examples clean
+.PHONY: install test bench experiments quick-experiments examples profile clean
 
 install:
 	pip install -e .
@@ -19,6 +19,12 @@ quick-experiments:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+# Profile a representative sweep and print the hottest 25 frames; the full
+# stats land in profile.pstats for pstats/snakeviz-style drilldown.
+profile:
+	python -m repro.experiments.runner --experiment EXP-A --quick --profile profile.pstats
+	python -c "import pstats; pstats.Stats('profile.pstats').sort_stats('cumulative').print_stats(25)"
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,239 @@
+"""Kernel bench: compiled LS / vectorized DBF* / QPA vs the reference paths.
+
+Three micro-benchmarks, each timing the same workload with the compiled
+kernels off (the plain-Python reference implementations) and on:
+
+* **MINPROCS mu-search** -- the Fig. 3 search over a batch of wide,
+  tight-deadline DAG tasks; the kernel side reuses one ``CompiledDAG`` per
+  task and defers Slot/validation work to the fitting attempt.
+* **PARTITION all-points probe** -- order-independent ``DBF*`` first-fit
+  placement of a large low-density set, where every probe re-checks all
+  affected shard test points (the online controller's admission path).
+* **exact-EDF oracle** -- processor-demand feasibility of high-utilization
+  sporadic sets with wide period spreads (large testing intervals): QPA
+  (Zhang & Burns 2009) vs the full breakpoint scan.
+
+Every workload's *results* are asserted identical between the two runs (the
+bit-identity contract), timings land in ``benchmarks/BENCH_kernels.json``,
+and the ISSUE's speedup floors -- >= 3x on MINPROCS, >= 5x on the exact
+oracle -- are gated here.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.cache import caches
+from repro.core.dbf import demand_breakpoints, edf_exact_test, testing_interval_bound
+from repro.core.kernels import use_kernels
+from repro.core.minprocs import minprocs
+from repro.core.partition import AdmissionTest, TaskOrder, partition_sporadic
+from repro.model.dag import DAG
+from repro.model.sporadic import SporadicTask
+from repro.model.task import SporadicDAGTask
+
+ARTIFACT = Path(__file__).parent / "BENCH_kernels.json"
+
+_SEED = 0
+_REPEATS = 3
+
+#: ISSUE 5 acceptance floors.
+_MINPROCS_FLOOR = 3.0
+_EXACT_FLOOR = 5.0
+
+
+def _minprocs_workload(count: int = 8) -> list[SporadicDAGTask]:
+    """Chain-plus-fringe DAGs whose mu-search walks dozens of cluster sizes.
+
+    Each DAG is a long chain (the critical path) with a cloud of short
+    fringe vertices hung between its source and sink, and a deadline only
+    2% above the span.  Under the ``smallest_wcet`` priority order List
+    Scheduling serves the fringe before the chain, so the makespan is
+    roughly ``fringe_volume / mu + span`` and MINPROCS must try ~30 cluster
+    sizes per task before one fits -- the long-walk regime the compiled
+    kernel is built for.
+    """
+    rng = random.Random(_SEED)
+    tasks = []
+    for index in range(count):
+        wcets = {}
+        edges = []
+        for v in range(20):
+            wcets[v] = rng.uniform(4.0, 6.0)
+            if v:
+                edges.append((v - 1, v))
+        for f in range(100):
+            v = 20 + f
+            wcets[v] = rng.uniform(0.5, 1.5)
+            edges.append((0, v))
+            edges.append((v, 19))
+        dag = DAG(wcets, edges)
+        deadline = dag.longest_chain_length * 1.02
+        tasks.append(
+            SporadicDAGTask(dag, deadline, deadline * 1.5, name=f"hi{index}")
+        )
+    return tasks
+
+
+def _partition_workload(count: int = 800) -> list[SporadicTask]:
+    """Many light tasks on few processors, so each shard accumulates
+    hundreds of DBF* test points and every first-fit probe sweeps them."""
+    rng = random.Random(_SEED + 1)
+    tasks = []
+    for index in range(count):
+        period = rng.uniform(20.0, 400.0)
+        deadline = period * rng.uniform(0.3, 0.9)
+        wcet = deadline * rng.uniform(0.002, 0.01)
+        tasks.append(
+            SporadicTask(wcet=wcet, deadline=deadline, period=period,
+                         name=f"lo{index}")
+        )
+    return tasks
+
+
+def _oracle_workload(sets: int = 8, tasks_per_set: int = 40):
+    """High-utilization constrained-deadline sets with wide period spreads,
+    i.e. long testing intervals with many breakpoints."""
+    rng = random.Random(_SEED + 2)
+    workload = []
+    for _ in range(sets):
+        shares = [rng.random() for _ in range(tasks_per_set)]
+        scale = 0.88 / sum(shares)
+        bucket = []
+        for share in shares:
+            period = 10.0 * (400.0 ** rng.random())  # log-uniform [10, 4000]
+            utilization = share * scale
+            deadline = period * rng.uniform(0.4, 0.95)
+            bucket.append(
+                SporadicTask(
+                    wcet=utilization * period, deadline=deadline, period=period
+                )
+            )
+        workload.append(bucket)
+    return workload
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _time_both(run) -> tuple[float, float]:
+    """(reference seconds, kernel seconds), each best-of-_REPEATS."""
+    with use_kernels(False):
+        old = _best_of(_REPEATS, run)
+    with use_kernels(True):
+        new = _best_of(_REPEATS, run)
+    return old, new
+
+
+def test_bench_kernels():
+    cache_was_enabled = caches.enabled
+    caches.disable()  # measure the kernels, not the memoization layer
+    try:
+        document = {"seed": _SEED, "repeats": _REPEATS, "floors": {
+            "minprocs": _MINPROCS_FLOOR, "exact_oracle": _EXACT_FLOOR,
+        }}
+
+        # -- MINPROCS mu-search --------------------------------------------
+        high_tasks = _minprocs_workload()
+
+        def run_minprocs():
+            return [
+                minprocs(task, 512, order="smallest_wcet") for task in high_tasks
+            ]
+
+        with use_kernels(False):
+            reference = run_minprocs()
+        with use_kernels(True):
+            kernel = run_minprocs()
+        assert all(r is not None for r in reference)
+        for a, b in zip(kernel, reference):
+            assert (a.processors, a.attempts) == (b.processors, b.attempts)
+            assert a.schedule.slots == b.schedule.slots
+        old_s, new_s = _time_both(run_minprocs)
+        attempts = sum(r.attempts for r in reference)
+        minprocs_speedup = old_s / new_s
+        document["minprocs"] = {
+            "tasks": len(high_tasks),
+            "ls_attempts": attempts,
+            "old_seconds": old_s,
+            "new_seconds": new_s,
+            "speedup": minprocs_speedup,
+        }
+
+        # -- PARTITION all-points probe ------------------------------------
+        low_tasks = _partition_workload()
+
+        def run_partition():
+            return partition_sporadic(
+                low_tasks, 4, order=TaskOrder.GIVEN,
+                admission=AdmissionTest.DBF_APPROX_ALL_POINTS,
+            )
+
+        with use_kernels(False):
+            ref_part = run_partition()
+        with use_kernels(True):
+            kern_part = run_partition()
+        assert ref_part.success
+        assert kern_part.success == ref_part.success
+        assert kern_part.assignment == ref_part.assignment
+        old_s, new_s = _time_both(run_partition)
+        document["partition_probe"] = {
+            "tasks": len(low_tasks),
+            "processors": 4,
+            "placed": sum(len(b) for b in ref_part.assignment),
+            "old_seconds": old_s,
+            "new_seconds": new_s,
+            "speedup": old_s / new_s,
+        }
+
+        # -- exact-EDF oracle: QPA vs breakpoint scan ----------------------
+        oracle_sets = _oracle_workload()
+        breakpoints = sum(
+            len(demand_breakpoints(bucket, testing_interval_bound(bucket)))
+            for bucket in oracle_sets
+        )
+
+        def run_oracle():
+            return [edf_exact_test(bucket) for bucket in oracle_sets]
+
+        with use_kernels(False):
+            ref_verdicts = run_oracle()
+        with use_kernels(True):
+            kern_verdicts = run_oracle()
+        assert kern_verdicts == ref_verdicts
+        old_s, new_s = _time_both(run_oracle)
+        oracle_speedup = old_s / new_s
+        document["exact_oracle"] = {
+            "sets": len(oracle_sets),
+            "tasks_per_set": len(oracle_sets[0]),
+            "breakpoints": breakpoints,
+            "accepted": sum(ref_verdicts),
+            "old_seconds": old_s,
+            "new_seconds": new_s,
+            "speedup": oracle_speedup,
+        }
+
+        document["equivalence"] = {
+            "minprocs": True, "partition": True, "exact_oracle": True,
+        }
+        ARTIFACT.write_text(json.dumps(document, indent=2) + "\n")
+
+        assert minprocs_speedup >= _MINPROCS_FLOOR, (
+            f"MINPROCS kernel speedup {minprocs_speedup:.2f}x below the "
+            f"{_MINPROCS_FLOOR}x floor"
+        )
+        assert oracle_speedup >= _EXACT_FLOOR, (
+            f"exact-oracle QPA speedup {oracle_speedup:.2f}x below the "
+            f"{_EXACT_FLOOR}x floor"
+        )
+    finally:
+        caches.enabled = cache_was_enabled

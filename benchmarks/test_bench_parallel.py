@@ -67,8 +67,11 @@ def test_bench_parallel(tmp_path, show):
         cache_stats = active.stats()
     assert _csv_bytes(warm_tables, tmp_path, "warm") == serial_csv
     assert _csv_bytes(rewarm_tables, tmp_path, "rewarm") == serial_csv
-    assert cache_stats["dbf_star"]["hits"] > 0
-    assert cache_stats["dbf_star"]["hit_rate"] > 0.0
+    # Since the ShardState-ledger refactor the partition probes no longer go
+    # through the dbf_star value cache, so warm-pass effectiveness shows up
+    # as MINPROCS sizings answered without re-running List Scheduling.
+    assert cache_stats["minprocs"]["hits"] > 0
+    assert cache_stats["minprocs"]["hit_rate"] > 0.0
 
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
     ARTIFACT.write_text(

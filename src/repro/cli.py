@@ -150,6 +150,11 @@ def analyze_main(argv: list[str] | None = None) -> int:
         help="write the full decision trace (every MINPROCS step, every "
         "PARTITION placement, and the decisive rejection) as JSON",
     )
+    parser.add_argument(
+        "--profile", type=Path, default=None, metavar="OUT.pstats",
+        help="run the analysis under cProfile and write the stats "
+        "(pstats format, loadable with `python -m pstats OUT.pstats`)",
+    )
     add_observability_arguments(parser)
     args = parser.parse_args(argv)
     configure_from_args(args)
@@ -157,6 +162,12 @@ def analyze_main(argv: list[str] | None = None) -> int:
     system = _load(args.system)
     print(system.describe())
     print()
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.explain is not None:
         with tracing() as trace:
             result = fedcons(system, args.processors)
@@ -213,6 +224,12 @@ def analyze_main(argv: list[str] | None = None) -> int:
                 f"{name:<16}{bound:>12.3f}{task.deadline:>12.3f}"
                 f"{100 * (1 - bound / task.deadline):>9.1f}%"
             )
+    if profiler is not None:
+        profiler.disable()
+        from repro.io import write_pstats
+
+        _write_artifact(lambda p: write_pstats(p, profiler), args.profile)
+        print(f"profile written to {args.profile}")
     return 0 if result.success else 1
 
 

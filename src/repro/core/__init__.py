@@ -23,12 +23,22 @@ from repro.core.fedcons import (
     HighDensityAllocation,
     fedcons,
 )
+from repro.core.kernels import (
+    CompiledDAG,
+    compile_dag,
+    disable_kernels,
+    enable_kernels,
+    kernels_enabled,
+    use_kernels,
+)
 from repro.core.list_scheduling import (
     PRIORITY_ORDERS,
+    PreparedLS,
     graham_anomaly_instance,
     graham_makespan_bound,
     list_schedule,
     makespan_lower_bound,
+    prepare_ls,
     priority_list,
 )
 from repro.core.minprocs import MinProcsResult, minprocs, minprocs_unbounded
@@ -49,6 +59,14 @@ __all__ = [
     "list_schedule",
     "priority_list",
     "PRIORITY_ORDERS",
+    "PreparedLS",
+    "prepare_ls",
+    "CompiledDAG",
+    "compile_dag",
+    "kernels_enabled",
+    "enable_kernels",
+    "disable_kernels",
+    "use_kernels",
     "graham_makespan_bound",
     "makespan_lower_bound",
     "graham_anomaly_instance",

@@ -4,7 +4,7 @@ The experiment stack re-evaluates the same pure functions over and over:
 ``DBF*`` of a sporadic task at a test point (PARTITION probes every shared
 processor at every candidate deadline), and MINPROCS cluster sizing of a DAG
 (every re-analysis of a system replays the same List Scheduling search).
-Both are pure functions of their arguments, so this module provides a pair of
+All are pure functions of their arguments, so this module provides a set of
 bounded LRU caches:
 
 ``dbf_star``
@@ -14,7 +14,11 @@ bounded LRU caches:
     keyed by ``(DAG.digest(), D, order)`` -- one entry per analysed DAG task,
     storing either the minimal fitting cluster (reusable for any processor
     budget at or above it, since the first fitting ``mu`` does not depend on
-    the cap) or the largest budget known to be insufficient.
+    the cap) or the largest budget known to be insufficient;
+``compiled``
+    keyed by ``DAG.digest()`` -- the flat :class:`~repro.core.kernels.CompiledDAG`
+    artifact, so digest-equal DAG instances (e.g. rebuilt from a journal or
+    shipped to a worker process) share one compilation.
 
 Like :mod:`repro.obs.metrics`, the caches are **disabled by default** and
 hot paths guard every lookup with a plain attribute check, so the cost with
@@ -115,14 +119,18 @@ class LRUCache:
 
 
 class AnalysisCaches:
-    """The process-wide pair of analysis caches plus the enable switch."""
+    """The process-wide trio of analysis caches plus the enable switch."""
 
     def __init__(
-        self, dbf_star_size: int = 1 << 17, minprocs_size: int = 4096
+        self,
+        dbf_star_size: int = 1 << 17,
+        minprocs_size: int = 4096,
+        compiled_size: int = 4096,
     ) -> None:
         self.enabled = False
         self.dbf_star = LRUCache("dbf_star", dbf_star_size)
         self.minprocs = LRUCache("minprocs", minprocs_size)
+        self.compiled = LRUCache("compiled", compiled_size)
 
     def enable(self) -> None:
         """Start serving (and filling) both caches."""
@@ -133,13 +141,14 @@ class AnalysisCaches:
         self.enabled = False
 
     def clear(self) -> None:
-        """Drop all entries of both caches."""
+        """Drop all entries of every cache."""
         self.dbf_star.clear()
         self.minprocs.clear()
+        self.compiled.clear()
 
     def reset_counters(self) -> None:
-        """Zero the hit/miss/eviction counters of both caches."""
-        for cache in (self.dbf_star, self.minprocs):
+        """Zero the hit/miss/eviction counters of every cache."""
+        for cache in (self.dbf_star, self.minprocs, self.compiled):
             cache.hits = cache.misses = cache.evictions = 0
 
     def stats(self) -> dict:
@@ -148,6 +157,7 @@ class AnalysisCaches:
             "enabled": self.enabled,
             "dbf_star": self.dbf_star.stats(),
             "minprocs": self.minprocs.stats(),
+            "compiled": self.compiled.stats(),
         }
 
     # -- the memoized analyses -------------------------------------------

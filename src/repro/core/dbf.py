@@ -21,7 +21,9 @@ import math
 from collections.abc import Iterable, Sequence
 
 from repro.errors import AnalysisError
+from repro.core import kernels as _kernels
 from repro.core.cache import caches as _caches
+from repro.core.kernels import flags as _kernel_flags
 from repro.model.sporadic import SporadicTask
 from repro.obs.metrics import metrics as _metrics
 
@@ -78,10 +80,19 @@ def edf_approx_test(tasks: Sequence[SporadicTask]) -> bool:
     deadline) and slopes sum to ``U <= 1`` when the test can pass at all, it
     suffices to check the inequality at each task's relative deadline, plus
     the slope condition ``U <= 1``.
+
+    With the compiled kernels enabled (the default) all deadlines are
+    checked in one vectorized ``DBF*`` pass; the totals -- and hence the
+    verdict -- are bit-identical to the scalar loop.
     """
     if sum(t.utilization for t in tasks) > 1.0 + _TOL:
         return False
-    for point in {t.deadline for t in tasks}:
+    points = {t.deadline for t in tasks}
+    if _kernel_flags.enabled and points:
+        if _metrics.enabled:
+            _metrics.incr("dbf_star_evaluations", len(points))
+        return _kernels.dbf_star_all_within(tasks, list(points), _TOL)
+    for point in points:
         if total_dbf_approx(tasks, point) > point + _TOL:
             return False
     return True
@@ -139,6 +150,12 @@ def edf_exact_test(
     PARTITION uses :func:`edf_approx_test` instead, and the experiments use
     this as the ground-truth oracle.
 
+    With the compiled kernels enabled (the default) the interval is decided
+    by QPA (:func:`repro.core.kernels.qpa_exact_test`, Zhang & Burns 2009)
+    instead of scanning every breakpoint; the verdicts are identical (the
+    equivalence argument is in the QPA docstring and
+    ``docs/PERFORMANCE.md``).
+
     Parameters
     ----------
     tasks:
@@ -158,6 +175,8 @@ def edf_exact_test(
     bound = testing_interval_bound(tasks) if horizon is None else horizon
     if bound < 0:
         raise AnalysisError(f"testing horizon must be >= 0, got {bound}")
+    if _kernel_flags.enabled:
+        return _kernels.qpa_exact_test(tasks, bound, total_dbf, _TOL)
     for point in demand_breakpoints(tasks, bound):
         if total_dbf(tasks, point) > point + _TOL:
             return False

@@ -21,9 +21,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import Counter
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 from repro.errors import AnalysisError
+from repro.core import kernels as _kernels
+from repro.core.kernels import CompiledDAG, flags as _kernel_flags
 from repro.core.schedule import Schedule, Slot
 from repro.model.dag import DAG, VertexId
 from repro.obs.metrics import metrics as _metrics
@@ -34,6 +38,9 @@ __all__ = [
     "makespan_lower_bound",
     "PRIORITY_ORDERS",
     "priority_list",
+    "PreparedLS",
+    "prepare_ls",
+    "compiled_priority",
     "graham_anomaly_instance",
 ]
 
@@ -93,11 +100,63 @@ def priority_list(dag: DAG, order: str | Sequence[VertexId]) -> list[VertexId]:
                 f"{sorted(PRIORITY_ORDERS)}"
             ) from None
     explicit = list(order)
-    if sorted(map(repr, explicit)) != sorted(map(repr, dag.vertices)):
+    given = Counter(explicit)
+    expected = Counter(dag.vertices)
+    if given != expected:
+        missing = sorted(repr(v) for v in (expected - given))
+        duplicated = sorted(repr(v) for (v, c) in given.items() if c > 1)
+        unknown = sorted(repr(v) for v in (given - expected) if v not in expected)
+        problems = []
+        if missing:
+            problems.append(f"missing {', '.join(missing)}")
+        if duplicated:
+            problems.append(f"duplicated {', '.join(duplicated)}")
+        if unknown:
+            problems.append(f"unknown {', '.join(unknown)}")
         raise AnalysisError(
-            "explicit priority list must contain every DAG vertex exactly once"
+            "explicit priority list must contain every DAG vertex exactly "
+            f"once: {'; '.join(problems)}"
         )
     return explicit
+
+
+@dataclass(frozen=True)
+class PreparedLS:
+    """Per-``(dag, order)`` LS inputs hoisted out of repeated runs.
+
+    MINPROCS calls :func:`list_schedule` once per candidate cluster size;
+    the priority ranks and the indegree template depend only on the DAG and
+    the order, so they are computed once and passed through (the kernel path
+    gets the same hoist from :class:`~repro.core.kernels.CompiledDAG`).
+    """
+
+    dag: DAG
+    prio: dict[VertexId, int]
+    indegree: dict[VertexId, int]
+
+
+def prepare_ls(dag: DAG, order: str | Sequence[VertexId]) -> PreparedLS:
+    """Precompute the priority ranks and indegree template for *dag*/*order*."""
+    prio = {v: i for i, v in enumerate(priority_list(dag, order))}
+    indegree = {v: len(dag.predecessors(v)) for v in dag.vertices}
+    return PreparedLS(dag=dag, prio=prio, indegree=indegree)
+
+
+def compiled_priority(
+    compiled: CompiledDAG, dag: DAG, order: str | Sequence[VertexId]
+) -> list[int]:
+    """Index-based priority ranks for *order* on the compiled artifact.
+
+    Named orders come from the artifact's memoized permutations; explicit
+    sequences are validated by :func:`priority_list` and mapped to indices.
+    """
+    if isinstance(order, str):
+        return compiled.priority(order)
+    explicit = priority_list(dag, order)
+    prio = [0] * len(explicit)
+    for rank, v in enumerate(explicit):
+        prio[compiled.index[v]] = rank
+    return prio
 
 
 def list_schedule(
@@ -105,6 +164,7 @@ def list_schedule(
     processors: int,
     order: str | Sequence[VertexId] = "longest_path",
     wcets: dict[VertexId, float] | None = None,
+    prepared: PreparedLS | None = None,
 ) -> Schedule:
     """Schedule one dag-job on *processors* identical processors with LS.
 
@@ -122,24 +182,52 @@ def list_schedule(
         Optional override of per-vertex execution times (used by the anomaly
         demonstration and the simulator's what-if analysis).  Defaults to the
         DAG's WCETs.
+    prepared:
+        Optional :func:`prepare_ls` result for *dag*; supersedes *order* and
+        skips the per-call priority sort and indegree scan (MINPROCS's
+        kernel-off hoist).
 
     Returns
     -------
     Schedule
         A validated non-preemptive template schedule.
+
+    When the compiled kernels are enabled (the default) and no *wcets*
+    override is given, the run is executed by :func:`repro.core.kernels.ls_run`
+    over the DAG's memoized :class:`~repro.core.kernels.CompiledDAG`; the
+    resulting schedule is bit-identical to this module's reference loop
+    (see :mod:`tests.test_kernels`).
     """
     if processors < 1:
         raise AnalysisError(f"processor count must be >= 1, got {processors}")
+    if prepared is not None and prepared.dag is not dag:
+        raise AnalysisError("prepared LS inputs belong to a different DAG")
     if _metrics.enabled:
         _metrics.incr("list_schedule_invocations")
         _metrics.incr("list_schedule_vertices", len(dag))
-    times = dict(dag.wcets) if wcets is None else dict(wcets)
-    missing = [v for v in dag.vertices if v not in times]
-    if missing:
-        raise AnalysisError(f"missing execution times for {missing!r}")
 
-    prio = {v: i for i, v in enumerate(priority_list(dag, order))}
-    indegree = {v: len(dag.predecessors(v)) for v in dag.vertices}
+    if wcets is None and prepared is None and _kernel_flags.enabled:
+        compiled = _kernels.compile_dag(dag)
+        prio_ranks = compiled_priority(compiled, dag, order)
+        _, raw = _kernels.ls_run(compiled, processors, prio_ranks)
+        schedule = _kernels.build_schedule(dag, compiled, processors, raw)
+        schedule.validate()
+        return schedule
+
+    if wcets is None:
+        times = dag.wcets
+    else:
+        times = dict(wcets)
+        missing = [v for v in dag.vertices if v not in times]
+        if missing:
+            raise AnalysisError(f"missing execution times for {missing!r}")
+
+    if prepared is not None:
+        prio = prepared.prio
+        indegree = dict(prepared.indegree)
+    else:
+        prio = {v: i for i, v in enumerate(priority_list(dag, order))}
+        indegree = {v: len(dag.predecessors(v)) for v in dag.vertices}
 
     # Ready jobs keyed by priority; running jobs keyed by completion time.
     ready: list[tuple[int, VertexId]] = [

@@ -19,8 +19,10 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import AnalysisError
+from repro.core import kernels as _kernels
 from repro.core.cache import MISSING, caches as _caches
-from repro.core.list_scheduling import list_schedule
+from repro.core.kernels import flags as _kernel_flags
+from repro.core.list_scheduling import compiled_priority, list_schedule, prepare_ls
 from repro.core.schedule import Schedule
 from repro.model.dag import VertexId
 from repro.model.task import SporadicDAGTask
@@ -103,33 +105,66 @@ def _minprocs_search(
     available: int,
     order: str | Sequence[VertexId],
 ) -> MinProcsResult | None:
-    """The uncached MINPROCS search loop (validation already done)."""
+    """The uncached MINPROCS search loop (validation already done).
+
+    The per-task LS inputs are hoisted out of the ``mu`` loop: with kernels
+    enabled, one :class:`~repro.core.kernels.CompiledDAG` (and its priority
+    permutation) backs every attempt and only the *fitting* attempt
+    materializes Slot objects; with kernels disabled, the priority list and
+    indegree template are still computed once via :func:`prepare_ls` instead
+    of once per attempt.  Either way each attempt performs exactly one LS
+    run, so ``minprocs_ls_runs``/``list_schedule_*`` counters, trace events
+    and the returned ``attempts`` are unchanged.
+    """
     ctx = current_context()
     name = task.name or repr(task)
     start = max(1, math.ceil(task.density - 1e-12))
     attempts = 0
+    # Matches Schedule.meets_deadline's tolerance.
+    deadline_tol = task.deadline + 1e-9
+    use_kernel = _kernel_flags.enabled
+    if use_kernel:
+        compiled = _kernels.compile_dag(task.dag)
+        prio_ranks = compiled_priority(compiled, task.dag, order)
+        prepared = None
+    else:
+        compiled = None
+        prepared = prepare_ls(task.dag, order)
     for mu in range(start, available + 1):
         attempts += 1
         if _metrics.enabled:
             _metrics.incr("minprocs_ls_runs")
-        schedule = list_schedule(task.dag, mu, order=order)
-        fits = schedule.meets_deadline(task.deadline)
+        schedule: Schedule | None
+        if use_kernel:
+            if _metrics.enabled:
+                _metrics.incr("list_schedule_invocations")
+                _metrics.incr("list_schedule_vertices", len(task.dag))
+            makespan, raw = _kernels.ls_run(compiled, mu, prio_ranks)
+            fits = makespan <= deadline_tol
+            schedule = None
+        else:
+            schedule = list_schedule(task.dag, mu, prepared=prepared)
+            makespan = schedule.makespan
+            fits = schedule.meets_deadline(task.deadline)
         if ctx is not None:
             ctx.record(
                 MinprocsStep(
                     task=name,
                     processors=mu,
-                    makespan=schedule.makespan,
+                    makespan=makespan,
                     deadline=task.deadline,
                     fits=fits,
                 )
             )
         _log.debug(
             "MINPROCS %s: mu=%d makespan=%g deadline=%g -> %s",
-            name, mu, schedule.makespan, task.deadline,
+            name, mu, makespan, task.deadline,
             "fits" if fits else "too long",
         )
         if fits:
+            if schedule is None:
+                schedule = _kernels.build_schedule(task.dag, compiled, mu, raw)
+                schedule.validate()
             return MinProcsResult(processors=mu, schedule=schedule, attempts=attempts)
     _log.debug(
         "MINPROCS %s: no cluster of <= %d processors meets deadline %g",

@@ -23,6 +23,13 @@ Each shared processor then runs preemptive uniprocessor EDF at run time.
 For the ablation experiment (EXP-F) the module also exposes alternative fit
 strategies, orderings and admission tests; :func:`partition` with default
 arguments is exactly the paper's algorithm.
+
+The ``DBF*`` admission probes are answered by per-processor
+:class:`~repro.core.shard.ShardState` ledgers; with the compiled kernels
+enabled (:mod:`repro.core.kernels`, the default) the all-points probe's
+first-fit scans run as one vectorized pass per processor and
+:meth:`PartitionResult.verify` with ``exact=True`` uses the QPA oracle --
+both bit-identical to the scalar reference paths.
 """
 
 from __future__ import annotations
@@ -122,8 +129,9 @@ class PartitionResult:
         """Re-check schedulability of every processor's bucket.
 
         With ``exact=True`` uses the pseudo-polynomial processor-demand
-        criterion; otherwise the ``DBF*`` test.  Since ``DBF*`` dominates
-        ``dbf``, approximate acceptance implies exact schedulability.
+        criterion (QPA-accelerated when the compiled kernels are on);
+        otherwise the ``DBF*`` test.  Since ``DBF*`` dominates ``dbf``,
+        approximate acceptance implies exact schedulability.
         """
         test = dbf_mod.edf_exact_test if exact else dbf_mod.edf_approx_test
         return all(test(list(bucket)) for bucket in self.assignment)

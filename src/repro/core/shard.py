@@ -43,12 +43,19 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.errors import AnalysisError
+from repro.core.kernels import flags as _kernel_flags
 from repro.model.sporadic import SporadicTask
 
 __all__ = ["ShardState"]
 
 _TOL = 1e-9
+
+#: Below this many affected test points the scalar probe loop wins; above it
+#: :meth:`ShardState.fits_all_points` switches to one vectorized numpy pass.
+VECTOR_MIN_POINTS = 16
 
 
 class ShardState:
@@ -62,7 +69,14 @@ class ShardState:
     demand -- in the same order.
     """
 
-    __slots__ = ("_entries", "_deadlines", "_cum_wcet", "_cum_util", "_cum_util_deadline")
+    __slots__ = (
+        "_entries",
+        "_deadlines",
+        "_cum_wcet",
+        "_cum_util",
+        "_cum_util_deadline",
+        "_arrays",
+    )
 
     def __init__(
         self, entries: Iterable[tuple[SporadicTask, int]] = ()
@@ -92,6 +106,26 @@ class ShardState:
         self._cum_wcet = cum_wcet
         self._cum_util = cum_util
         self._cum_util_deadline = cum_util_deadline
+        # Lazily-built numpy mirrors of the prefix arrays (vectorized probe).
+        self._arrays: tuple[np.ndarray, ...] | None = None
+
+    def _numpy_arrays(self) -> tuple[np.ndarray, ...]:
+        """Numpy mirrors of ``(deadlines, cum_wcet, cum_util, cum_util_deadline)``.
+
+        Built on first vectorized probe after a mutation; the floats are the
+        same Python floats the scalar path reads, so both paths compute
+        bit-identical demands.
+        """
+        arrays = self._arrays
+        if arrays is None:
+            arrays = (
+                np.asarray(self._deadlines),
+                np.asarray(self._cum_wcet),
+                np.asarray(self._cum_util),
+                np.asarray(self._cum_util_deadline),
+            )
+            self._arrays = arrays
+        return arrays
 
     def add(self, task: SporadicTask, rank: int) -> None:
         """Insert *task* with the canonical tie-break *rank*."""
@@ -197,9 +231,27 @@ class ShardState:
         newcomer adds demand (``DBF*(tau_new, t) = 0`` for ``t < D_new``, and
         points strictly before ``D_new`` were verified when their tasks were
         placed).
+
+        Large shards answer the re-check in one vectorized numpy pass over
+        the prefix arrays (same float expressions as :meth:`demand` /
+        ``dbf_approx``, hence the same verdict); small shards keep the
+        scalar loop, which beats the numpy call overhead below
+        :data:`VECTOR_MIN_POINTS` points.
         """
         if not self.fits_at_deadline(task):
             return False
+        lo = bisect_left(self._deadlines, task.deadline)
+        if _kernel_flags.enabled and len(self._deadlines) - lo >= VECTOR_MIN_POINTS:
+            deadlines, cum_wcet, cum_util, cum_util_deadline = self._numpy_arrays()
+            points = deadlines[lo:]
+            # bisect_right of each point within the full deadline list; every
+            # point is itself a stored deadline, so the index is >= 1.
+            idx = np.searchsorted(deadlines, points, side="right") - 1
+            demand = cum_wcet[idx] + cum_util[idx] * points - cum_util_deadline[idx]
+            with_task = demand + (
+                task.wcet + task.utilization * (points - task.deadline)
+            )
+            return not bool(np.any(with_task > points + _TOL))
         for point in self.test_points_at_or_after(task.deadline):
             if self.demand_with(task, point) > point + _TOL:
                 return False

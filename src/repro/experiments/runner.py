@@ -159,6 +159,11 @@ def main(argv: list[str] | None = None) -> int:
         help="collect counters/timers across all experiments and write "
         "them as JSON",
     )
+    parser.add_argument(
+        "--profile", type=Path, default=None, metavar="OUT.pstats",
+        help="run the experiment sweep under cProfile and write the stats "
+        "(pstats format, loadable with `python -m pstats OUT.pstats`)",
+    )
     add_observability_arguments(parser)
     args = parser.parse_args(argv)
     configure_from_args(args)
@@ -183,6 +188,12 @@ def main(argv: list[str] | None = None) -> int:
     cache_was_enabled = caches.enabled
     if not args.no_cache:
         caches.enable()
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     try:
         for target in targets:
@@ -209,7 +220,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{target} finished in {elapsed:.1f}s]")
             print()
     finally:
+        if profiler is not None:
+            profiler.disable()
         caches.enabled = cache_was_enabled
+    if profiler is not None:
+        from repro.io import write_pstats
+
+        try:
+            write_pstats(args.profile, profiler)
+        except OSError as exc:
+            print(f"error: cannot write {args.profile}: {exc}", file=sys.stderr)
+            return 2
+        print(f"profile written to {args.profile}")
     if args.metrics is not None:
         try:
             metrics.to_json(args.metrics)

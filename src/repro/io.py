@@ -41,6 +41,7 @@ __all__ = [
     "atomic_writer",
     "fsync_directory",
     "read_jsonl",
+    "write_pstats",
 ]
 
 _log = get_logger(__name__)
@@ -117,6 +118,20 @@ def atomic_write_bytes(path: str | Path, data: bytes, fsync: bool = True) -> Non
     """Atomically replace *path* with *data* (temp file + fsync + rename)."""
     with atomic_writer(path, "wb", fsync=fsync) as handle:
         handle.write(data)
+
+
+def write_pstats(path: str | Path, profiler: Any, fsync: bool = True) -> None:
+    """Atomically persist a ``cProfile.Profile`` run as a ``pstats`` file.
+
+    The written bytes are exactly what ``Profile.dump_stats`` produces (the
+    marshalled stats table), so ``pstats.Stats(str(path))`` and
+    ``snakeviz``-style viewers load it directly -- but the file appears
+    atomically, like every other artifact this package writes.
+    """
+    import marshal
+
+    profiler.create_stats()
+    atomic_write_bytes(path, marshal.dumps(profiler.stats), fsync=fsync)
 
 
 def read_jsonl(path: str | Path) -> tuple[list[dict], bool]:

@@ -72,6 +72,7 @@ class DAG:
         "_longest",
         "_hash",
         "_digest",
+        "_compiled",
     )
 
     def __init__(
@@ -108,6 +109,9 @@ class DAG:
         self._longest = self._compute_longest_chain()
         self._hash: int | None = None
         self._digest: str | None = None
+        # Lazily-populated CompiledDAG (repro.core.kernels); excluded from
+        # pickling so worker processes and journals never carry it.
+        self._compiled: Any = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -244,6 +248,20 @@ class DAG:
             f"DAG(|V|={len(self._wcets)}, |E|={sum(len(s) for s in self._succ.values())}, "
             f"vol={self._volume:g}, len={self._longest:g})"
         )
+
+    def __getstate__(self) -> dict:
+        """Pickle every slot except the per-instance compiled-kernel artifact."""
+        return {
+            slot: getattr(self, slot)
+            for slot in DAG.__slots__
+            if slot != "_compiled"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore slots; the compiled artifact is rebuilt lazily on demand."""
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._compiled = None
 
     def digest(self) -> str:
         """A canonical content digest of this DAG (hex string).

@@ -663,6 +663,14 @@ class AdmissionController:
     def _admit_low(
         self, task: SporadicDAGTask, started: float
     ) -> AdmissionDecision:
+        """First-fit scan of the shared shards with the order-independent
+        ``DBF*`` probe.
+
+        Each ``fits_all_points`` probe is answered by the shard's prefix-sum
+        ledger; with the compiled kernels on (the default) crowded shards
+        evaluate every affected test point in one vectorized pass -- same
+        verdicts, so replayed decision traces are byte-identical either way.
+        """
         sporadic = task.to_sporadic()
         for k, shard in enumerate(self._shards):
             if _metrics.enabled:

@@ -283,7 +283,7 @@ class TestAnalysisCaches:
 
     def test_stats_shape(self):
         stats = AnalysisCaches().stats()
-        assert set(stats) == {"enabled", "dbf_star", "minprocs"}
+        assert set(stats) == {"enabled", "dbf_star", "minprocs", "compiled"}
 
     def test_total_dbf_approx_cached_equals_uncached(self):
         tasks = [
