@@ -47,6 +47,7 @@ from repro.model.taskset import TaskSystem
 from repro.obs.events import PhaseComplete, Rejection, current_context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
+from repro.obs.spans import span as _span
 
 __all__ = [
     "FailureReason",
@@ -205,6 +206,26 @@ def fedcons(
     if not isinstance(system, TaskSystem):
         system = TaskSystem(system)
     system.validate_constrained()
+    with _span("fedcons", tasks=len(system), processors=processors) as sp:
+        result = _fedcons(
+            system, processors, ls_order, partition_order, partition_fit,
+            partition_admission,
+        )
+        sp.set(
+            success=result.success,
+            reason=None if result.reason is None else result.reason.value,
+        )
+        return result
+
+
+def _fedcons(
+    system: TaskSystem,
+    processors: int,
+    ls_order: str | Sequence[VertexId],
+    partition_order: TaskOrder,
+    partition_fit: FitStrategy,
+    partition_admission: AdmissionTest,
+) -> FedConsResult:
 
     ctx = current_context()
     started = time.perf_counter()
@@ -363,13 +384,17 @@ def fedcons(
     phase_start = time.perf_counter()
     shared = tuple(range(next_free, processors))
     low = system.low_density_tasks
-    part = partition(
-        low,
-        remaining,
-        order=partition_order,
-        fit=partition_fit,
-        admission=partition_admission,
-    )
+    with _span(
+        "fedcons.partition", tasks=len(low), processors=remaining
+    ) as part_span:
+        part = partition(
+            low,
+            remaining,
+            order=partition_order,
+            fit=partition_fit,
+            admission=partition_admission,
+        )
+        part_span.set(success=part.success)
     partition_elapsed = time.perf_counter() - phase_start
     _metrics.record_time("fedcons.partition_seconds", partition_elapsed)
     if ctx is not None:

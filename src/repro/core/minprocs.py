@@ -15,6 +15,7 @@ the remaining platform and ``None`` is returned (the paper's ``infinity``).
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -29,6 +30,7 @@ from repro.model.task import SporadicDAGTask
 from repro.obs.events import MinprocsStep, current_context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
+from repro.obs.spans import span as _span
 
 __all__ = ["MinProcsResult", "minprocs", "minprocs_unbounded"]
 
@@ -95,9 +97,16 @@ def minprocs(
     if task.span > task.deadline:
         # No processor count can beat the critical path.
         return None
-    if _caches.enabled:
-        return _minprocs_cached(task, available, order)
-    return _minprocs_search(task, available, order)
+    with _span("minprocs", task=task.name or None, available=available) as sp:
+        if _caches.enabled:
+            result = _minprocs_cached(task, available, order)
+        else:
+            result = _minprocs_search(task, available, order)
+        sp.set(
+            fitted=result is not None,
+            processors=None if result is None else result.processors,
+        )
+        return result
 
 
 def _minprocs_search(
@@ -123,6 +132,11 @@ def _minprocs_search(
     # Matches Schedule.meets_deadline's tolerance.
     deadline_tol = task.deadline + 1e-9
     use_kernel = _kernel_flags.enabled
+    # One clock pair for the whole mu-search and bulk counter updates on the
+    # way out: per-attempt clock reads would cost a large fraction of one
+    # compiled LS run and break the telemetry overhead budget.
+    timing = _metrics.enabled
+    search_started = time.perf_counter() if timing else 0.0
     if use_kernel:
         compiled = _kernels.compile_dag(task.dag)
         prio_ranks = compiled_priority(compiled, task.dag, order)
@@ -130,15 +144,20 @@ def _minprocs_search(
     else:
         compiled = None
         prepared = prepare_ls(task.dag, order)
+
+    def _record_search() -> None:
+        _metrics.incr("minprocs_ls_runs", attempts)
+        if use_kernel:
+            _metrics.incr("list_schedule_invocations", attempts)
+            _metrics.incr("list_schedule_vertices", attempts * len(task.dag))
+        _metrics.record_time(
+            "minprocs.search_seconds", time.perf_counter() - search_started
+        )
+
     for mu in range(start, available + 1):
         attempts += 1
-        if _metrics.enabled:
-            _metrics.incr("minprocs_ls_runs")
         schedule: Schedule | None
         if use_kernel:
-            if _metrics.enabled:
-                _metrics.incr("list_schedule_invocations")
-                _metrics.incr("list_schedule_vertices", len(task.dag))
             makespan, raw = _kernels.ls_run(compiled, mu, prio_ranks)
             fits = makespan <= deadline_tol
             schedule = None
@@ -162,10 +181,14 @@ def _minprocs_search(
             "fits" if fits else "too long",
         )
         if fits:
+            if timing:
+                _record_search()
             if schedule is None:
                 schedule = _kernels.build_schedule(task.dag, compiled, mu, raw)
                 schedule.validate()
             return MinProcsResult(processors=mu, schedule=schedule, attempts=attempts)
+    if timing:
+        _record_search()
     _log.debug(
         "MINPROCS %s: no cluster of <= %d processors meets deadline %g",
         name, available, task.deadline,

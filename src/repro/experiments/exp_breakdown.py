@@ -21,6 +21,7 @@ from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.extensions.fixed_priority_pool import fedcons_fp
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.obs.metrics import percentile
 from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
@@ -70,8 +71,8 @@ def run(samples: int = 60, seed: int = 0, quick: bool = False) -> list[Table]:
         table.add_row(
             name,
             float(data.mean()),
-            float(np.median(data)),
-            float(np.percentile(data, 10)),
+            percentile(data, 50),
+            percentile(data, 10),
             unschedulable[name],
         )
     table.notes.append(

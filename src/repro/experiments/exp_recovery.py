@@ -19,16 +19,23 @@ generated traffic:
   committed benchmark (``benchmarks/test_bench_recovery.py``) enforces the
   >= 10x criterion on a 1000-event journal; here the ratio is reported as
   an experiment table across smaller scenarios.
+
+The soak also exercises the flight recorder as the crash post-mortem
+artifact: each scenario's first wreck is journaled with the ring armed, and
+the resulting dump -- the decision events immediately preceding the
+simulated crash -- is validated and counted in the table.
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 import time
 from pathlib import Path
 
 from repro.experiments.reporting import Table
 from repro.generation.traces import TraceConfig, generate_trace
+from repro.obs import flight_recording, tracing
 from repro.online.controller import AdmissionController
 from repro.online.persist import (
     DurableController,
@@ -64,9 +71,19 @@ _SCENARIOS: tuple[tuple[str, TraceConfig, int], ...] = (
 
 
 def _build_wreck(
-    directory: Path, label: str, config: TraceConfig, every: int, seed: int
+    directory: Path,
+    label: str,
+    config: TraceConfig,
+    every: int,
+    seed: int,
+    flight_dump: Path | None = None,
 ) -> tuple[Path, Path, list[bytes]]:
-    """Journal one trace with rotation; return (journal, checkpoint, lines)."""
+    """Journal one trace with rotation; return (journal, checkpoint, lines).
+
+    With *flight_dump* set, the trace is journaled with the flight-recorder
+    ring armed and the ring is dumped to that path once the journal closes --
+    the post-mortem artifact a crashed writer would leave behind.
+    """
     slug = label.replace(" ", "_").replace("=", "")
     journal_path = directory / f"{slug}_{seed}.journal"
     checkpoint_path = directory / f"{slug}_{seed}.ckpt.json"
@@ -75,7 +92,14 @@ def _build_wreck(
             AdmissionController(config.processors), journal,
             checkpoint_path=checkpoint_path, checkpoint_every=every,
         )
-        replay(durable, generate_trace(config, seed))
+        events = generate_trace(config, seed)
+        if flight_dump is None:
+            replay(durable, events)
+        else:
+            with flight_recording(capacity=64) as recorder:
+                with tracing():
+                    replay(durable, events)
+            recorder.dump(flight_dump, reason="EXP-R simulated crash")
     return (
         journal_path,
         checkpoint_path,
@@ -94,16 +118,38 @@ def _crash_table(samples: int, seed: int, boundary_stride: int) -> Table:
             "torn-byte crashes",
             "recoveries ok",
             "torn tails skipped",
+            "flight entries",
         ],
     )
     with tempfile.TemporaryDirectory(prefix="exp_recovery_") as tmp:
         directory = Path(tmp)
         for label, config, every in _SCENARIOS:
             records = boundaries = torn_crashes = ok = torn_skipped = 0
+            flight_entries = 0
             for offset in range(samples):
-                journal_path, checkpoint_path, lines = _build_wreck(
-                    directory, label, config, every, seed + offset
+                # Arm the flight recorder on each scenario's first wreck so
+                # the soak leaves the post-mortem artifact a real crash would.
+                dump_path = (
+                    directory / "flight.json" if offset == 0 else None
                 )
+                journal_path, checkpoint_path, lines = _build_wreck(
+                    directory, label, config, every, seed + offset,
+                    flight_dump=dump_path,
+                )
+                if dump_path is not None:
+                    dump = json.loads(dump_path.read_text())
+                    entries = dump["entries"]
+                    assert entries, "flight dump captured no pre-crash events"
+                    decisions = [
+                        e for e in entries
+                        if e["kind"] == "event"
+                        and e["data"]["event"] in ("Admission", "Departure")
+                    ]
+                    assert decisions, "flight dump holds no decision events"
+                    # The ring's newest decision must be the journal's final
+                    # committed record -- the event a post-mortem cares about.
+                    assert decisions[-1]["data"]["seq"] == len(lines) - 1
+                    flight_entries += len(entries)
                 records += len(lines)
                 # Replay an oracle controller record by record so every
                 # sampled boundary has a reference snapshot.
@@ -136,7 +182,7 @@ def _crash_table(samples: int, seed: int, boundary_stride: int) -> Table:
                     ok += 1
             table.add_row(
                 label, samples, records, boundaries, torn_crashes, ok,
-                torn_skipped,
+                torn_skipped, flight_entries,
             )
     table.notes.append(
         "each crash truncates the journal (at a record boundary, or "
@@ -145,6 +191,11 @@ def _crash_table(samples: int, seed: int, boundary_stride: int) -> Table:
         "oracle controller replayed to the same boundary and passes "
         "verify(exact=True).  Torn tails must be detected and skipped, "
         "never parsed."
+    )
+    table.notes.append(
+        "'flight entries' counts ring entries in the post-mortem flight "
+        "dump of each scenario's first wreck; the dump's newest decision "
+        "event is asserted to be the journal's final committed record."
     )
     return table
 

@@ -18,6 +18,7 @@ from repro.analysis.response_time import deployment_response_bounds
 from repro.core.fedcons import fedcons
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.obs.metrics import percentile
 from repro.parallel.seeds import sample_rng
 
 __all__ = ["run"]
@@ -71,7 +72,7 @@ def run(samples: int = 60, seed: int = 0, quick: bool = False) -> list[Table]:
             len(everything),
             float(np.mean(dedicated)) if dedicated else float("nan"),
             float(np.mean(pool)),
-            float(np.percentile(everything, 95)),
+            percentile(everything, 95),
             float(everything.max()),
         )
     table.notes.append(

@@ -20,6 +20,7 @@ from repro.analysis.speedup import (
 )
 from repro.experiments.reporting import Table
 from repro.generation.tasksets import SystemConfig, generate_system
+from repro.obs.metrics import percentile
 from repro.parallel.engine import GridSpec, run_grid
 
 __all__ = ["run"]
@@ -82,7 +83,7 @@ def run(
             m,
             len(ratios),
             float(data.mean()),
-            float(np.percentile(data, 95)),
+            percentile(data, 95),
             float(data.max()),
             theorem1_bound(m),
         )

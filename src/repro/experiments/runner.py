@@ -48,7 +48,12 @@ from repro.experiments import (
 )
 from repro.experiments.reporting import Table
 from repro.obs import get_logger, metrics
-from repro.obs.cli import add_observability_arguments, configure_from_args
+from repro.obs.cli import (
+    add_observability_arguments,
+    add_telemetry_arguments,
+    configure_from_args,
+    telemetry_session,
+)
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -165,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
         "(pstats format, loadable with `python -m pstats OUT.pstats`)",
     )
     add_observability_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
     configure_from_args(args)
 
@@ -196,29 +202,30 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
 
     try:
-        for target in targets:
-            started = time.perf_counter()
-            _log.info("experiment %s starting", target)
-            try:
-                tables = run_experiment(
-                    target, samples=args.samples, seed=args.seed,
-                    quick=args.quick, jobs=args.jobs,
-                    chunk_size=args.chunk_size,
-                )
-            except KeyError as exc:
-                print(exc, file=sys.stderr)
-                return 2
-            elapsed = time.perf_counter() - started
-            metrics.record_time(f"experiment.{target}.seconds", elapsed)
-            _log.info("experiment %s finished in %.1fs", target, elapsed)
-            for i, table in enumerate(tables):
-                print(table.render())
+        with telemetry_session(args):
+            for target in targets:
+                started = time.perf_counter()
+                _log.info("experiment %s starting", target)
+                try:
+                    tables = run_experiment(
+                        target, samples=args.samples, seed=args.seed,
+                        quick=args.quick, jobs=args.jobs,
+                        chunk_size=args.chunk_size,
+                    )
+                except KeyError as exc:
+                    print(exc, file=sys.stderr)
+                    return 2
+                elapsed = time.perf_counter() - started
+                metrics.record_time(f"experiment.{target}.seconds", elapsed)
+                _log.info("experiment %s finished in %.1fs", target, elapsed)
+                for i, table in enumerate(tables):
+                    print(table.render())
+                    print()
+                    if args.out is not None:
+                        safe = target.replace("-", "_").lower()
+                        table.to_csv(args.out / f"{safe}_{i}.csv")
+                print(f"[{target} finished in {elapsed:.1f}s]")
                 print()
-                if args.out is not None:
-                    safe = target.replace("-", "_").lower()
-                    table.to_csv(args.out / f"{safe}_{i}.csv")
-            print(f"[{target} finished in {elapsed:.1f}s]")
-            print()
     finally:
         if profiler is not None:
             profiler.disable()

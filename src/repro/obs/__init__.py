@@ -1,6 +1,6 @@
-"""Observability: structured logging, decision tracing, metrics & timing.
+"""Observability: logging, decision tracing, metrics, spans & flight record.
 
-Three independent, individually-zero-cost facilities:
+Five independent, individually-zero-cost facilities:
 
 ``repro.obs.logging``
     A library-wide ``repro`` logger hierarchy -- silent by default
@@ -13,19 +13,33 @@ Three independent, individually-zero-cost facilities:
     rejection comes with an exportable, machine-readable explanation of which
     task, phase and bound failed.
 ``repro.obs.metrics``
-    A registry of counters and wall-clock timers over the analysis and
-    simulation hot paths, with ``snapshot()`` and JSON/CSV export.
+    A registry of counters, wall-clock timers and mergeable log-bucketed
+    latency :class:`Histogram`\\ s (p50/p95/p99/max) over the analysis,
+    simulation and admission hot paths, with ``snapshot()``, JSON/CSV export
+    and Prometheus text exposition
+    (:meth:`~MetricsRegistry.to_prometheus`).
+``repro.obs.spans``
+    A contextvar span tracer: one admission becomes one end-to-end tree of
+    timed, attributed spans (controller -> probe -> journal), exported as
+    OTLP-inspired JSONL that ``fedcons-obs show`` renders as trees.
+``repro.obs.flight``
+    A flight recorder: a bounded ring of the most recent spans, events and
+    metric observations, dumped on demand or automatically from an
+    excepthook/``SIGUSR1`` handler -- the post-mortem artifact for crash
+    recovery experiments.
 
 Typical use::
 
-    from repro.obs import configure_logging, tracing, collecting
+    from repro.obs import configure_logging, tracing, collecting, span_tracing
 
     configure_logging("DEBUG")                # watch every decision
-    with tracing() as trace, collecting() as m:
+    with tracing() as trace, collecting() as m, span_tracing() as spans:
         result = fedcons(system, m=8)
     if not result.success:
         trace.to_json("why_rejected.json")    # rejection + full event log
     print(m.snapshot()["counters"])           # dbf_star_evaluations, ...
+    print(m.histogram("fedcons.total_seconds").quantile(0.99))
+    spans.to_jsonl("trace.jsonl")             # fedcons-obs show trace.jsonl
 """
 
 from repro.obs.events import (
@@ -43,13 +57,30 @@ from repro.obs.events import (
     current_context,
     tracing,
 )
+from repro.obs.flight import FlightRecorder, flight, flight_recording
 from repro.obs.logging import (
     ROOT_LOGGER_NAME,
     JsonFormatter,
     configure_logging,
     get_logger,
 )
-from repro.obs.metrics import MetricsRegistry, TimerStats, collecting, metrics
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    TimerStats,
+    collecting,
+    metrics,
+    percentile,
+)
+from repro.obs.spans import (
+    Span,
+    SpanTracer,
+    current_span,
+    current_tracer,
+    load_spans,
+    span,
+    span_tracing,
+)
 
 __all__ = [
     "ROOT_LOGGER_NAME",
@@ -71,6 +102,18 @@ __all__ = [
     "tracing",
     "MetricsRegistry",
     "TimerStats",
+    "Histogram",
     "collecting",
     "metrics",
+    "percentile",
+    "Span",
+    "SpanTracer",
+    "span",
+    "span_tracing",
+    "current_span",
+    "current_tracer",
+    "load_spans",
+    "FlightRecorder",
+    "flight",
+    "flight_recording",
 ]

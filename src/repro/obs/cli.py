@@ -9,18 +9,32 @@ Every ``fedcons-*`` entry point gains the same three flags::
 :func:`add_observability_arguments` installs them on a parser and
 :func:`configure_from_args` acts on the parsed namespace before the tool
 starts working.
+
+Tools that run workloads (as opposed to inspecting artifacts) additionally
+gain the telemetry export flags via :func:`add_telemetry_arguments`::
+
+    --prom OUT.prom       write a Prometheus text exposition of the metrics
+    --trace-out OUT.jsonl capture a span trace of the whole run
+    --flight-dir DIR      arm the flight recorder; crash dumps land here
+
+and wrap their work in :func:`telemetry_session`, which activates exactly
+the facilities the flags ask for and exports on the way out.
 """
 
 from __future__ import annotations
 
 import argparse
+from contextlib import ExitStack, contextmanager
+from collections.abc import Iterator
 
 from repro.obs.logging import configure_logging
 
 __all__ = [
     "package_version",
     "add_observability_arguments",
+    "add_telemetry_arguments",
     "configure_from_args",
+    "telemetry_session",
 ]
 
 
@@ -75,6 +89,30 @@ def add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install ``--prom``, ``--trace-out`` and ``--flight-dir`` on *parser*."""
+    parser.add_argument(
+        "--prom",
+        default=None,
+        metavar="OUT.prom",
+        help="write collected metrics as Prometheus text exposition",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="OUT.jsonl",
+        help="capture a span trace of the run and write it as JSONL "
+        "(inspect with: fedcons-obs show OUT.jsonl)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="arm the flight recorder; post-mortem dumps are written to "
+        "DIR on uncaught exceptions (and SIGUSR1 where available)",
+    )
+
+
 def configure_from_args(args: argparse.Namespace) -> None:
     """Apply the parsed observability flags (no-op when none were given)."""
     if args.log_level is not None or args.json_logs:
@@ -82,3 +120,39 @@ def configure_from_args(args: argparse.Namespace) -> None:
             level=args.log_level if args.log_level is not None else "INFO",
             json=args.json_logs,
         )
+
+
+@contextmanager
+def telemetry_session(args: argparse.Namespace) -> Iterator[None]:
+    """Activate the telemetry the parsed flags ask for; export on exit.
+
+    ``--trace-out`` activates a span tracer and writes its JSONL when the
+    block finishes; ``--flight-dir`` arms the flight recorder with its
+    excepthook/``SIGUSR1`` dump hooks; ``--prom`` enables metrics
+    collection and writes the exposition at the end.  With none of the
+    flags set this is a no-op, so callers can wrap their work
+    unconditionally.  Exports still happen if the block raises -- that is
+    precisely when a trace is most wanted.
+    """
+    from repro.obs.flight import flight_recording
+    from repro.obs.metrics import metrics
+    from repro.obs.spans import SpanTracer, span_tracing
+
+    prom = getattr(args, "prom", None)
+    trace_out = getattr(args, "trace_out", None)
+    flight_dir = getattr(args, "flight_dir", None)
+    tracer = SpanTracer() if trace_out else None
+    with ExitStack() as stack:
+        if prom:
+            metrics.enable()
+        if tracer is not None:
+            stack.enter_context(span_tracing(tracer))
+        if flight_dir:
+            stack.enter_context(flight_recording(dump_dir=flight_dir))
+        try:
+            yield
+        finally:
+            if tracer is not None:
+                tracer.to_jsonl(trace_out)
+            if prom:
+                metrics.to_prometheus_file(prom)

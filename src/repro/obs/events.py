@@ -12,6 +12,12 @@ The events answer the question the plain boolean verdicts cannot: *why* was
 this system rejected, by which phase (MINPROCS vs PARTITION), on which task,
 and by how much margin.  :meth:`ObsContext.to_json` exports the whole trace
 for the CLI's ``--explain`` flag.
+
+Events also feed the other telemetry facilities when those are active:
+recording an event annotates the innermost open span
+(:mod:`repro.obs.spans`) with the event's name, and leaves a copy in the
+flight-recorder ring (:mod:`repro.obs.flight`) -- so a span trace or a
+post-mortem dump carries the *decisions* alongside the timings.
 """
 
 from __future__ import annotations
@@ -19,10 +25,13 @@ from __future__ import annotations
 import json
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field, fields
 from collections.abc import Iterator
 from pathlib import Path
 from typing import TypeVar
+
+from repro.obs.flight import flight as _flight
+from repro.obs.spans import current_span as _current_span
 
 __all__ = [
     "ObsEvent",
@@ -46,8 +55,25 @@ class ObsEvent:
     """Base class of all decision-trace events."""
 
     def to_dict(self) -> dict:
-        """JSON-ready representation; ``event`` holds the event type name."""
-        return {"event": type(self).__name__, **asdict(self)}
+        """JSON-ready representation; ``event`` holds the event type name.
+
+        A shallow field dump, not :func:`dataclasses.asdict`: the events are
+        frozen and their payloads are never mutated after recording, so the
+        deep copy would buy nothing and costs ~10x (this runs on the hot
+        path whenever the flight recorder taps decision events).
+        """
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = _FIELD_NAMES[cls] = tuple(f.name for f in fields(cls))
+        out = {"event": cls.__name__}
+        for name in names:
+            out[name] = getattr(self, name)
+        return out
+
+
+#: Per-class field-name cache for the shallow ``to_dict`` dump.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
 
 @dataclass(frozen=True)
@@ -210,8 +236,18 @@ class ObsContext:
         self.events: list[ObsEvent] = []
 
     def record(self, event: ObsEvent) -> None:
-        """Append one event."""
+        """Append one event (and annotate the active span/flight ring)."""
         self.events.append(event)
+        active = _current_span()
+        if active is not None:
+            task = getattr(event, "task", None)
+            if task is None:
+                active.add_event(type(event).__name__)
+            else:
+                active.add_event(type(event).__name__, task=task)
+        if _flight.enabled:
+            # Frozen dataclass: the ring serializes it lazily at dump time.
+            _flight.record("event", event)
 
     def __len__(self) -> int:
         return len(self.events)

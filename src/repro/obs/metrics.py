@@ -1,9 +1,14 @@
-"""Counters and wall-clock timers for the analysis and simulation hot paths.
+"""Counters, wall-clock timers and latency histograms for the hot paths.
 
 A :class:`MetricsRegistry` holds named monotonically-increasing **counters**
 (``dbf_star_evaluations``, ``list_schedule_invocations``,
-``sim_events_processed``, ...) and **timers** that accumulate wall-clock
-durations (``fedcons.total_seconds``, ``sweep.total_seconds``, ...).
+``sim_events_processed``, ...), **timers** that accumulate wall-clock
+durations (``fedcons.total_seconds``, ``online.admit_seconds``, ...), and
+log-bucketed **histograms** that estimate the distribution of those
+durations (p50/p95/p99/max) without retaining individual samples.  Every
+:meth:`~MetricsRegistry.record_time` observation feeds both the timer and a
+same-named histogram, so tail latency comes for free wherever a timer
+already exists.
 
 The registry is *disabled* by default and instrumented hot paths guard every
 update with a plain attribute check::
@@ -14,48 +19,106 @@ update with a plain attribute check::
 so the cost with observability off is one attribute load and a branch --
 unmeasurable against the arithmetic it sits next to.  Applications (and the
 CLI's ``--metrics`` flag) enable the module-level :data:`metrics` registry,
-run, then export :meth:`~MetricsRegistry.snapshot` as JSON or CSV.
+run, then export :meth:`~MetricsRegistry.snapshot` as JSON, CSV or
+Prometheus text exposition (:meth:`~MetricsRegistry.to_prometheus`).
+
+Histograms merge *exactly*: bucket counts, extrema and an integer-exact sum
+are all order-independent under :meth:`~MetricsRegistry.merge_snapshot`, so
+the parallel experiment engine produces bit-identical aggregate snapshots
+regardless of worker count or completion order.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
+import re
 import time
 from contextlib import contextmanager
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from pathlib import Path
 
-__all__ = ["TimerStats", "MetricsRegistry", "metrics", "collecting"]
+from repro.obs.flight import flight as _flight
+
+__all__ = [
+    "TimerStats",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "collecting",
+    "percentile",
+]
+
+
+def percentile(data: Sequence[float], q: float) -> float:
+    """The *q*-th percentile of *data* by linear interpolation.
+
+    ``q`` is in ``[0, 100]``.  Matches ``numpy.percentile``'s default
+    (``linear``) method: the rank is ``(n - 1) * q / 100`` and fractional
+    ranks interpolate between the two surrounding order statistics.  This is
+    the one quantile convention shared by the simulator analytics, the
+    experiment tables and (as the exact reference) the approximate
+    :class:`Histogram` quantiles.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    xs = sorted(float(v) for v in data)
+    if not xs:
+        raise ValueError("percentile of empty data is undefined")
+    rank = (len(xs) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return xs[lower]
+    return xs[lower] + (xs[upper] - xs[lower]) * (rank - lower)
 
 
 class TimerStats:
     """Accumulated wall-clock observations of one named timer."""
 
-    __slots__ = ("count", "total", "max")
+    __slots__ = ("count", "total", "max", "min")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.max = 0.0
+        self.min = math.inf
 
     def add(self, seconds: float) -> None:
         self.count += 1
         self.total += seconds
         if seconds > self.max:
             self.max = seconds
+        if seconds < self.min:
+            self.min = seconds
 
     @property
     def mean(self) -> float:
         """Mean observed duration (0 when nothing was observed)."""
         return self.total / self.count if self.count else 0.0
 
-    def merge(self, count: int, total: float, maximum: float) -> None:
-        """Fold another accumulation (e.g. a worker's) into this one."""
+    def merge(
+        self,
+        count: int,
+        total: float,
+        maximum: float,
+        minimum: float | None = None,
+    ) -> None:
+        """Fold another accumulation (e.g. a worker's) into this one.
+
+        *minimum* defaults to *maximum* for snapshots predating the ``min``
+        field -- conservative (never reports a minimum below any observed
+        value) and exact whenever both sides carry it.
+        """
         self.count += count
         self.total += total
         if maximum > self.max:
             self.max = maximum
+        if minimum is None:
+            minimum = maximum
+        if count and minimum < self.min:
+            self.min = minimum
 
     def to_dict(self) -> dict:
         return {
@@ -63,16 +126,179 @@ class TimerStats:
             "total_seconds": self.total,
             "mean_seconds": self.mean,
             "max_seconds": self.max,
+            "min_seconds": self.min if self.count else 0.0,
         }
 
 
+# Histogram bucket geometry: buckets grow by a factor of 2**(1/_LOG_DENSITY)
+# (~9%/bucket), so any quantile estimate is within ~4.5% of the true value --
+# tight enough for latency work, coarse enough that a microsecond-to-second
+# range needs only ~160 occupied buckets.
+_LOG_DENSITY = 8
+
+# Common denominator for the integer-exact sum.  Every finite float's
+# ``as_integer_ratio()`` denominator is a power of two no larger than 2**1074
+# (the subnormal limit), so scaling numerators to this fixed denominator is
+# lossless and summation becomes integer addition -- associative and
+# commutative, which is what makes merged snapshots bit-identical regardless
+# of merge order.
+_EXACT_DEN = 1 << 1100
+
+
+class Histogram:
+    """Mergeable log-bucketed distribution sketch of positive observations.
+
+    A value ``v > 0`` lands in bucket ``ceil(log2(v) * 8)``; bucket ``i``
+    covers ``(2**((i-1)/8), 2**(i/8)]``.  Non-positive values (possible for
+    a degenerate zero-duration timer read) are counted separately in
+    ``zeros``.  Alongside the buckets the sketch tracks count, min, max and
+    an exact sum (see ``_EXACT_DEN``), so merges are lossless and
+    order-independent.
+    """
+
+    __slots__ = ("count", "zeros", "_min", "_max", "_exact_sum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.zeros = 0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._exact_sum = 0
+        self.buckets: dict[int, int] = {}
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The bucket a positive *value* falls into."""
+        return math.ceil(math.log2(value) * _LOG_DENSITY)
+
+    @staticmethod
+    def bucket_upper_bound(index: int) -> float:
+        """Inclusive upper bound of bucket *index*."""
+        return 2.0 ** (index / _LOG_DENSITY)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        value = float(value)
+        self.count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        numerator, denominator = value.as_integer_ratio()
+        # The denominator is a power of two (IEEE float), so scaling to the
+        # common denominator is a shift -- no 1100-bit division per add.
+        self._exact_sum += numerator << (1101 - denominator.bit_length())
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.ceil(math.log2(value) * _LOG_DENSITY)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0 when empty)."""
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0 when empty)."""
+        return self._max if self._max is not None else 0.0
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of observations, correctly rounded to a float.
+
+        Computed from the integer accumulator, so it does not depend on the
+        order observations (or merges) arrived in.
+        """
+        return self._exact_sum / _EXACT_DEN
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``q`` in ``[0, 1]``).
+
+        Walks the cumulative bucket counts to the bucket holding the
+        ``ceil(q * count)``-th smallest observation and returns its
+        geometric midpoint, clamped to the exact observed ``[min, max]`` --
+        so ``quantile(0)`` and ``quantile(1)`` are exact and everything in
+        between is within half a bucket (~4.5%) of the truth.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        target = max(1, math.ceil(q * self.count))
+        cumulative = self.zeros
+        if cumulative >= target:
+            representative = 0.0
+        else:
+            representative = self.max
+            for index in sorted(self.buckets):
+                cumulative += self.buckets[index]
+                if cumulative >= target:
+                    representative = 2.0 ** ((index - 0.5) / _LOG_DENSITY)
+                    break
+        return min(max(representative, self.min), self.max)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (carries the exact sum for lossless merges)."""
+        return {
+            "count": self.count,
+            "zeros": self.zeros,
+            "min": self.min,
+            "max": self.max,
+            "sum": self.sum,
+            "exact_sum": self._exact_sum,
+            "buckets": {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot into this sketch (lossless)."""
+        count = snapshot["count"]
+        if not count:
+            return
+        self.count += count
+        self.zeros += snapshot.get("zeros", 0)
+        other_min = snapshot["min"]
+        other_max = snapshot["max"]
+        if self._min is None or other_min < self._min:
+            self._min = other_min
+        if self._max is None or other_max > self._max:
+            self._max = other_max
+        exact = snapshot.get("exact_sum")
+        if exact is None:
+            # Degraded snapshot (float sum only): lossy but still correct
+            # to the float's precision.
+            numerator, denominator = float(snapshot["sum"]).as_integer_ratio()
+            exact = numerator * (_EXACT_DEN // denominator)
+        self._exact_sum += exact
+        for key, bucket_count in snapshot.get("buckets", {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + bucket_count
+
+
 class MetricsRegistry:
-    """Named counters and timers with snapshot/reset and JSON/CSV export."""
+    """Named counters, timers and histograms with snapshot/reset and export."""
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self._counters: dict[str, int] = {}
         self._timers: dict[str, TimerStats] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- collection --------------------------------------------------------
 
@@ -91,13 +317,39 @@ class MetricsRegistry:
         self._counters[name] = self._counters.get(name, 0) + amount
 
     def record_time(self, name: str, seconds: float) -> None:
-        """Fold one wall-clock observation into timer *name*."""
+        """Fold one wall-clock observation into timer *name*.
+
+        The observation also feeds the same-named histogram, so every timer
+        automatically exposes p50/p95/p99, and -- when the flight recorder
+        is armed -- leaves a ring-buffer entry for post-mortems.
+        """
         if not self.enabled:
             return
         stats = self._timers.get(name)
         if stats is None:
             stats = self._timers[name] = TimerStats()
         stats.add(seconds)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.add(seconds)
+        if _flight.enabled:
+            _flight.record("timer", {"name": name, "seconds": seconds})
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one observation into histogram *name* (no timer semantics).
+
+        For distributions that are not durations -- queue depths, probe
+        counts per admission, shard utilizations.
+        """
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.add(value)
+        if _flight.enabled:
+            _flight.record("histogram", {"name": name, "value": value})
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -125,6 +377,10 @@ class MetricsRegistry:
         """Accumulated stats of timer *name* (empty if never observed)."""
         return self._timers.get(name, TimerStats())
 
+    def histogram(self, name: str) -> Histogram:
+        """Accumulated histogram *name* (empty if never observed)."""
+        return self._histograms.get(name, Histogram())
+
     def snapshot(self) -> dict:
         """Immutable dict of everything collected so far."""
         return {
@@ -133,20 +389,31 @@ class MetricsRegistry:
                 name: stats.to_dict()
                 for name, stats in sorted(self._timers.items())
             },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
         }
 
     def reset(self) -> None:
         """Drop all collected values (the enabled flag is unchanged)."""
         self._counters.clear()
         self._timers.clear()
+        self._histograms.clear()
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` dict into this registry.
 
-        Used by the parallel experiment engine to aggregate the counters and
-        timers collected inside worker processes into the parent's registry.
-        Merging is unconditional (it is an explicit aggregation step, not a
-        hot-path update), so it works even while collection is disabled.
+        Used by the parallel experiment engine to aggregate the counters,
+        timers and histograms collected inside worker processes into the
+        parent's registry.  Merging is unconditional (it is an explicit
+        aggregation step, not a hot-path update), so it works even while
+        collection is disabled.  Counter sums, timer folds and histogram
+        merges are all commutative and (via the integer-exact histogram
+        sums) independent of merge order, so the aggregate snapshot is
+        bit-identical however worker results arrive.  Snapshots from older
+        formats (no ``min_seconds``, no ``histograms`` section) merge with
+        conservative defaults.
         """
         for name, value in snapshot.get("counters", {}).items():
             self._counters[name] = self._counters.get(name, 0) + value
@@ -155,8 +422,16 @@ class MetricsRegistry:
             if mine is None:
                 mine = self._timers[name] = TimerStats()
             mine.merge(
-                stats["count"], stats["total_seconds"], stats["max_seconds"]
+                stats["count"],
+                stats["total_seconds"],
+                stats["max_seconds"],
+                stats.get("min_seconds"),
             )
+        for name, data in snapshot.get("histograms", {}).items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge_dict(data)
 
     # -- export ------------------------------------------------------------
 
@@ -179,6 +454,71 @@ class MetricsRegistry:
             for name, stats in snap["timers"].items():
                 for key, value in stats.items():
                     writer.writerow(["timer", name, key, value])
+            for name, data in snap["histograms"].items():
+                for key in ("count", "min", "max", "sum", "p50", "p95", "p99"):
+                    writer.writerow(["histogram", name, key, data[key]])
+
+    def to_prometheus(self) -> str:
+        """Render everything collected in Prometheus text exposition format.
+
+        Counters become ``counter`` metrics (``_total`` suffix), timers
+        become ``summary`` metrics (``_sum``/``_count`` plus ``_min``/
+        ``_max`` gauges), and histograms become native ``histogram``
+        metrics with cumulative ``le``-labelled buckets ending in
+        ``+Inf``.  Metric names are sanitized to the Prometheus charset.
+        """
+        lines: list[str] = []
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}_total {value}")
+        for name, stats in snap["timers"].items():
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_sum {_prometheus_value(stats['total_seconds'])}")
+            lines.append(f"{metric}_count {stats['count']}")
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.append(f"{metric}_max {_prometheus_value(stats['max_seconds'])}")
+            lines.append(f"# TYPE {metric}_min gauge")
+            lines.append(f"{metric}_min {_prometheus_value(stats['min_seconds'])}")
+        for name, data in snap["histograms"].items():
+            metric = _prometheus_name(name) + "_hist"
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = data["zeros"]
+            if cumulative:
+                lines.append(f'{metric}_bucket{{le="0"}} {cumulative}')
+            for key, count in data["buckets"].items():
+                cumulative += count
+                upper = Histogram.bucket_upper_bound(int(key))
+                lines.append(
+                    f'{metric}_bucket{{le="{_prometheus_value(upper)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+            lines.append(f"{metric}_sum {_prometheus_value(data['sum'])}")
+            lines.append(f"{metric}_count {data['count']}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_prometheus_file(self, path: str | Path) -> None:
+        """Write :meth:`to_prometheus` to *path* (atomic write)."""
+        from repro.io import atomic_write_text
+
+        atomic_write_text(path, self.to_prometheus())
+
+
+_PROMETHEUS_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    metric = _PROMETHEUS_INVALID.sub("_", name)
+    if metric and metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def _prometheus_value(value: float) -> str:
+    return repr(float(value))
 
 
 #: The library-wide registry all instrumented modules report into.

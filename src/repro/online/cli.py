@@ -22,11 +22,18 @@ Three subcommands::
 
     fedcons-admit recover JOURNAL.jsonl [--checkpoint C.json]
                   [--verify] [--exact] [--snapshot OUT.json]
+                  [--metrics OUT.json]
         rebuild a controller from its durable state after a crash: restore
         the checkpoint (when given and present; otherwise replay from the
         journal's genesis record), replay the journal tail, cross-check
         every replayed decision against the recorded one, and optionally
-        verify the result against the batch oracle.
+        verify the result against the batch oracle.  With ``--metrics`` the
+        recovery throughput counters/timers are written as JSON.
+
+Both workload subcommands additionally take the telemetry export flags
+``--prom OUT.prom`` (Prometheus text exposition), ``--trace-out OUT.jsonl``
+(span trace, inspect with ``fedcons-obs show``) and ``--flight-dir DIR``
+(arm the flight recorder; crash dumps land in DIR).
 """
 
 from __future__ import annotations
@@ -38,7 +45,12 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.obs import metrics
-from repro.obs.cli import add_observability_arguments, configure_from_args
+from repro.obs.cli import (
+    add_observability_arguments,
+    add_telemetry_arguments,
+    configure_from_args,
+    telemetry_session,
+)
 
 __all__ = ["admit_main"]
 
@@ -120,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "lose the last few events, a process crash may not)",
     )
     add_observability_arguments(rep)
+    add_telemetry_arguments(rep)
 
     rec = sub.add_parser(
         "recover",
@@ -144,7 +157,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot", type=Path, default=None, metavar="OUT.json",
         help="write the recovered controller's lossless snapshot as JSON",
     )
+    rec.add_argument(
+        "--metrics", type=Path, default=None, metavar="OUT.json",
+        help="collect recovery throughput counters/timers and write them "
+        "as JSON",
+    )
     add_observability_arguments(rec)
+    add_telemetry_arguments(rec)
     return parser
 
 
@@ -299,6 +318,13 @@ def _replay(args: argparse.Namespace) -> int:
                 f"{1e6 * admit_timer['mean_seconds']:,.1f} us "
                 f"(max {1e6 * admit_timer['max_seconds']:,.1f} us)"
             )
+        admit_hist = snapshot["histograms"].get("online.admit_seconds")
+        if admit_hist:
+            print(
+                f"admit latency p50 {1e6 * admit_hist['p50']:,.1f} us / "
+                f"p95 {1e6 * admit_hist['p95']:,.1f} us / "
+                f"p99 {1e6 * admit_hist['p99']:,.1f} us"
+            )
         try:
             metrics.to_json(args.metrics)
         except OSError as exc:
@@ -319,10 +345,29 @@ def _recover(args: argparse.Namespace) -> int:
     from repro.io import atomic_write_text
     from repro.online.persist import recover
 
+    if args.metrics is not None:
+        metrics.reset()
+        metrics.enable()
     controller, report = recover(
         args.checkpoint, args.journal, verify=args.verify, exact=args.exact
     )
     print(report.describe())
+    if args.metrics is not None:
+        snapshot = metrics.snapshot()
+        replay_timer = snapshot["timers"].get("online.recover.replay_seconds")
+        if replay_timer:
+            print(
+                f"mean replay latency "
+                f"{1e6 * replay_timer['mean_seconds']:,.1f} us "
+                f"(max {1e6 * replay_timer['max_seconds']:,.1f} us) over "
+                f"{replay_timer['count']} record(s)"
+            )
+        try:
+            metrics.to_json(args.metrics)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        print(f"metrics written to {args.metrics}")
     if args.verify:
         print(
             "recovered state verified"
@@ -351,9 +396,10 @@ def admit_main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "generate":
             return _generate(args)
-        if args.command == "recover":
-            return _recover(args)
-        return _replay(args)
+        with telemetry_session(args):
+            if args.command == "recover":
+                return _recover(args)
+            return _replay(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -73,6 +73,8 @@ from repro.model.taskset import TaskSystem
 from repro.obs.events import Admission, Departure, Reclamation, current_context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
+from repro.obs.spans import current_span as _current_span
+from repro.obs.spans import span as _span
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
@@ -609,17 +611,19 @@ class AdmissionController:
             raise OnlineError("online tasks must carry a unique non-empty name")
         if task.name in self._tasks:
             raise OnlineError(f"task id {task.name!r} is already admitted")
-        self._seq += 1
-        kind = HIGH_DENSITY if task.is_high_density else LOW_DENSITY
-        if not task.is_constrained_deadline:
-            return self._reject(task, kind, NOT_CONSTRAINED, started)
-        if task.span > task.deadline:
-            return self._reject(
-                task, kind, FailureReason.STRUCTURALLY_INFEASIBLE.value, started
-            )
-        if kind == HIGH_DENSITY:
-            return self._admit_high(task, started)
-        return self._admit_low(task, started)
+        with _span("online.admit", task=task.name):
+            self._seq += 1
+            kind = HIGH_DENSITY if task.is_high_density else LOW_DENSITY
+            if not task.is_constrained_deadline:
+                return self._reject(task, kind, NOT_CONSTRAINED, started)
+            if task.span > task.deadline:
+                return self._reject(
+                    task, kind, FailureReason.STRUCTURALLY_INFEASIBLE.value,
+                    started,
+                )
+            if kind == HIGH_DENSITY:
+                return self._admit_high(task, started)
+            return self._admit_low(task, started)
 
     def _admit_high(
         self, task: SporadicDAGTask, started: float
@@ -672,10 +676,18 @@ class AdmissionController:
         verdicts, so replayed decision traces are byte-identical either way.
         """
         sporadic = task.to_sporadic()
+        placed: int | None = None
+        # The scan is timed as a whole (one clock pair per admission, not
+        # per probe), and annotates the enclosing ``online.admit`` span
+        # rather than opening one of its own: per-probe clock reads -- or a
+        # span whose extent is essentially the whole admission -- would cost
+        # a large fraction of a cheap DBF* probe and break the <= 5%
+        # telemetry overhead budget.
+        timing = _metrics.enabled
+        scan_started = time.perf_counter() if timing else 0.0
         for k, shard in enumerate(self._shards):
-            if _metrics.enabled:
-                _metrics.incr("online.placement_probes")
-            if shard.fits_all_points(sporadic):
+            fits = shard.fits_all_points(sporadic)
+            if fits:
                 entry = _LowEntry(
                     task=task, sporadic=sporadic, seq=self._seq, bucket=k
                 )
@@ -683,12 +695,26 @@ class AdmissionController:
                 shard.add(sporadic, entry.seq)
                 self._low[task.name] = entry
                 self._tasks[task.name] = task
-                return self._accept(
-                    task, LOW_DENSITY, (self._shared[k],), started,
-                    detail={"bucket": k},
-                )
-        return self._reject(
-            task, LOW_DENSITY, FailureReason.PARTITION_PHASE.value, started
+                placed = k
+                break
+        probes = len(self._shards) if placed is None else placed + 1
+        if timing:
+            _metrics.incr("online.placement_probes", probes)
+            _metrics.record_time(
+                "online.probe_scan_seconds",
+                time.perf_counter() - scan_started,
+            )
+            _metrics.observe("online.probes_per_admission", probes)
+        active = _current_span()
+        if active is not None:
+            active.set(buckets=len(self._shards), probes=probes, bucket=placed)
+        if placed is None:
+            return self._reject(
+                task, LOW_DENSITY, FailureReason.PARTITION_PHASE.value, started
+            )
+        return self._accept(
+            task, LOW_DENSITY, (self._shared[placed],), started,
+            detail={"bucket": placed},
         )
 
     def _accept(
@@ -703,6 +729,9 @@ class AdmissionController:
         if _metrics.enabled:
             _metrics.incr("online.admit_accepted")
             _metrics.record_time("online.admit_seconds", latency)
+        active = _current_span()
+        if active is not None:
+            active.set(kind=kind, accepted=True, processors=list(processors))
         ctx = current_context()
         if ctx is not None:
             ctx.record(
@@ -739,6 +768,9 @@ class AdmissionController:
         if _metrics.enabled:
             _metrics.incr("online.admit_rejected")
             _metrics.record_time("online.admit_seconds", latency)
+        active = _current_span()
+        if active is not None:
+            active.set(kind=kind, accepted=False, reason=reason)
         ctx = current_context()
         if ctx is not None:
             ctx.record(
@@ -778,10 +810,11 @@ class AdmissionController:
         # events) could never reproduce the counter.
         if task_id not in self._clusters and task_id not in self._low:
             raise OnlineError(f"no admitted task {task_id!r} to depart")
-        self._seq += 1
-        if task_id in self._clusters:
-            return self._depart_high(task_id, started)
-        return self._depart_low(task_id, started)
+        with _span("online.depart", task=task_id):
+            self._seq += 1
+            if task_id in self._clusters:
+                return self._depart_high(task_id, started)
+            return self._depart_low(task_id, started)
 
     def _depart_high(self, task_id: str, started: float) -> DepartureReceipt:
         cluster = self._clusters.pop(task_id)

@@ -56,6 +56,7 @@ from repro.model.task import SporadicDAGTask
 from repro.obs.events import Checkpoint, Recovery, current_context
 from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
+from repro.obs.spans import span as _span
 from repro.online.controller import (
     AdmissionController,
     AdmissionDecision,
@@ -153,13 +154,19 @@ class Journal:
         ``fsync=False``) fsynced to stable storage.
         """
         n = self._entries
-        self._handle.write(_dump({"n": n, **record}) + "\n")
-        self._handle.flush()
-        if self._fsync:
-            os.fsync(self._handle.fileno())
-        self._entries = n + 1
-        if _metrics.enabled:
-            _metrics.incr("online.journal.appends")
+        with _span("online.journal.append", n=n, fsync=self._fsync):
+            started = time.perf_counter() if _metrics.enabled else 0.0
+            self._handle.write(_dump({"n": n, **record}) + "\n")
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+            self._entries = n + 1
+            if _metrics.enabled:
+                _metrics.incr("online.journal.appends")
+                _metrics.record_time(
+                    "online.journal.append_seconds",
+                    time.perf_counter() - started,
+                )
         return n
 
     def close(self) -> None:
@@ -251,13 +258,14 @@ def write_checkpoint(
     a torn checkpoint -- a crash mid-write keeps the previous generation.
     """
     started = time.perf_counter()
-    snapshot = controller.snapshot()
-    document = {
-        "checkpoint_schema": CHECKPOINT_SCHEMA,
-        "journal_entries": journal_entries,
-        "state": snapshot,
-    }
-    atomic_write_text(Path(path), json.dumps(document, indent=2) + "\n")
+    with _span("online.checkpoint.write", journal_entries=journal_entries):
+        snapshot = controller.snapshot()
+        document = {
+            "checkpoint_schema": CHECKPOINT_SCHEMA,
+            "journal_entries": journal_entries,
+            "state": snapshot,
+        }
+        atomic_write_text(Path(path), json.dumps(document, indent=2) + "\n")
     elapsed = time.perf_counter() - started
     if _metrics.enabled:
         _metrics.incr("online.checkpoint.writes")
@@ -399,6 +407,22 @@ def recover(
 
     Returns ``(controller, report)``.
     """
+    with _span("online.recover", journal=str(journal)) as sp:
+        controller, report = _recover(checkpoint, journal, verify, exact)
+        sp.set(
+            replayed=report.replayed,
+            checkpoint_used=report.checkpoint_used,
+            torn_tail=report.torn_tail,
+        )
+        return controller, report
+
+
+def _recover(
+    checkpoint: str | Path | None,
+    journal: str | Path,
+    verify: bool,
+    exact: bool,
+) -> tuple[AdmissionController, RecoveryReport]:
     started = time.perf_counter()
     records, torn = Journal.read(journal)
     if not records:
@@ -441,7 +465,15 @@ def recover(
         start = 1
     replayed = 0
     for record in records[start:]:
-        _replay_record(controller, record)
+        if _metrics.enabled:
+            replay_started = time.perf_counter()
+            _replay_record(controller, record)
+            _metrics.record_time(
+                "online.recover.replay_seconds",
+                time.perf_counter() - replay_started,
+            )
+        else:
+            _replay_record(controller, record)
         replayed += 1
     if verify:
         if not controller.verify(exact=exact):
@@ -547,22 +579,25 @@ class DurableController:
             self.checkpoint()
 
     def admit(self, task: SporadicDAGTask) -> AdmissionDecision:
-        decision = self._controller.admit(task)
-        self._journal.append(admit_record(task, decision))
-        self._committed()
-        return decision
+        with _span("online.commit", op="admit", task=getattr(task, "name", None)):
+            decision = self._controller.admit(task)
+            self._journal.append(admit_record(task, decision))
+            self._committed()
+            return decision
 
     def depart(self, task_id: str) -> DepartureReceipt:
-        receipt = self._controller.depart(task_id)
-        self._journal.append(depart_record(receipt))
-        self._committed()
-        return receipt
+        with _span("online.commit", op="depart", task=task_id):
+            receipt = self._controller.depart(task_id)
+            self._journal.append(depart_record(receipt))
+            self._committed()
+            return receipt
 
     def compact(self) -> tuple[int, bool]:
-        migrations, clean = self._controller.compact()
-        self._journal.append(compact_record(migrations, clean))
-        self._committed()
-        return migrations, clean
+        with _span("online.commit", op="compact"):
+            migrations, clean = self._controller.compact()
+            self._journal.append(compact_record(migrations, clean))
+            self._committed()
+            return migrations, clean
 
     def checkpoint(self) -> None:
         """Publish the current state to *checkpoint_path* atomically."""

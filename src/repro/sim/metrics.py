@@ -14,9 +14,10 @@ Computed from a :class:`~repro.sim.trace.SimulationReport` produced with
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.obs.metrics import percentile
 from repro.sim.trace import ExecutionRecord, SimulationReport
 
 __all__ = ["TraceMetrics", "compute_metrics"]
@@ -32,6 +33,7 @@ class TraceMetrics:
     preemptions: dict[str, int]  # per task
     migrations: dict[str, int]  # per task (global scheduling only)
     busy_time: float
+    response_times: dict[str, tuple[float, ...]] = field(default_factory=dict)
 
     @property
     def total_preemptions(self) -> int:
@@ -40,6 +42,24 @@ class TraceMetrics:
     @property
     def total_migrations(self) -> int:
         return sum(self.migrations.values())
+
+    def response_percentile(self, task: str, q: float) -> float:
+        """The *q*-th percentile (``0..100``) of *task*'s job response times.
+
+        Uses the library-wide quantile convention
+        (:func:`repro.obs.metrics.percentile`).
+
+        Raises
+        ------
+        SimulationError
+            If the trace holds no completed job of *task*.
+        """
+        times = self.response_times.get(task)
+        if not times:
+            raise SimulationError(
+                f"no completed job of task {task!r} in the recorded trace"
+            )
+        return percentile(times, q)
 
     def describe(self) -> str:
         lines = ["per-processor utilization:"]
@@ -51,6 +71,14 @@ class TraceMetrics:
             f"preemptions: {self.total_preemptions}   "
             f"migrations: {self.total_migrations}"
         )
+        if self.response_times:
+            lines.append("response times (p50 / p95 / max):")
+            for task in sorted(self.response_times):
+                times = self.response_times[task]
+                lines.append(
+                    f"  {task}: {percentile(times, 50):.3f} / "
+                    f"{percentile(times, 95):.3f} / {max(times):.3f}"
+                )
         return "\n".join(lines)
 
 
@@ -75,9 +103,16 @@ def compute_metrics(report: SimulationReport) -> TraceMetrics:
         )
     busy: dict[int, float] = defaultdict(float)
     segments: dict[tuple[str, object], list[ExecutionRecord]] = defaultdict(list)
+    # One dag-job spans several vertices: its response time is the latest
+    # vertex completion relative to the shared job release.
+    completion: dict[tuple[str, object], float] = {}
     for record in report.executions:
         busy[record.processor] += record.end - record.start
         segments[_job_key(record)].append(record)
+        job = (record.task, record.job_release)
+        end = completion.get(job)
+        if end is None or record.end > end:
+            completion[job] = record.end
 
     preemptions: dict[str, int] = defaultdict(int)
     migrations: dict[str, int] = defaultdict(int)
@@ -98,9 +133,15 @@ def compute_metrics(report: SimulationReport) -> TraceMetrics:
         r.end for r in report.executions
     )
     utilization = {proc: time / horizon for proc, time in busy.items()}
+    responses: dict[str, list[float]] = defaultdict(list)
+    for (task, release), end in sorted(completion.items()):
+        responses[task].append(end - release)
     return TraceMetrics(
         processor_utilization=dict(utilization),
         preemptions=dict(preemptions),
         migrations=dict(migrations),
         busy_time=sum(busy.values()),
+        response_times={
+            task: tuple(times) for task, times in responses.items()
+        },
     )

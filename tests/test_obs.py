@@ -76,7 +76,9 @@ class TestMetricsRegistry:
         registry.incr("x")
         registry.record_time("y", 1.0)
         assert registry.counter("x") == 0
-        assert registry.snapshot() == {"counters": {}, "timers": {}}
+        assert registry.snapshot() == {
+            "counters": {}, "timers": {}, "histograms": {}
+        }
 
     def test_counter_increments(self):
         registry = MetricsRegistry(enabled=True)
@@ -113,7 +115,9 @@ class TestMetricsRegistry:
         registry.incr("a")
         registry.record_time("b", 1.0)
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "timers": {}}
+        assert registry.snapshot() == {
+            "counters": {}, "timers": {}, "histograms": {}
+        }
         assert registry.enabled  # reset does not change collection state
 
     def test_json_export(self, tmp_path):
