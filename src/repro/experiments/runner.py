@@ -25,6 +25,7 @@ from repro.core.cache import caches
 from repro.experiments import (
     exp_ablation_partition,
     exp_acceptance,
+    exp_adversarial,
     exp_arbitrary,
     exp_baselines,
     exp_breakdown,
@@ -85,6 +86,7 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "EXP-O": ("dedicated-cluster capacity fragmentation", exp_fragmentation.run),
     "EXP-P": ("online admission soak + incremental throughput", exp_online.run),
     "EXP-R": ("crash-injection soak + recovery throughput", exp_recovery.run),
+    "EXP-T": ("adversarial tightness frontier (Chen gadget)", exp_adversarial.run),
 }
 
 

@@ -1,5 +1,12 @@
-"""Random workload generation: DAG structures, parameters, full task systems."""
+"""Workload generation: DAG structures, parameters, full task systems, and
+the adversarial Chen lower-bound gadget family."""
 
+from repro.generation.adversarial import (
+    HARDNESS_GRADES,
+    GadgetInstance,
+    chen_gadget,
+    hardness_dial,
+)
 from repro.generation.dag_generators import (
     erdos_renyi_dag,
     layered_dag,
@@ -24,6 +31,10 @@ from repro.generation.tasksets import (
 from repro.generation.traces import TraceConfig, generate_trace
 
 __all__ = [
+    "HARDNESS_GRADES",
+    "GadgetInstance",
+    "chen_gadget",
+    "hardness_dial",
     "erdos_renyi_dag",
     "layered_dag",
     "nested_fork_join",

@@ -1,0 +1,208 @@
+"""Adversarial generation: the Chen lower-bound gadget family.
+
+Chen (arXiv 1510.07254) proves that federated scheduling -- *any* algorithm
+that either grants a task dedicated processors or restricts it to sequential
+execution -- admits **no constant speedup factor** for constrained-deadline
+DAG task systems.  This bounds the scope of the paper's Theorem 1: the
+``3 - 1/m`` bound is measured against an *optimal federated* scheduler, not
+against general feasibility.  This module implements the lower-bound
+construction as a parameterized generator so every heuristic in the repo can
+be stressed against its own counterexample family.
+
+The gadget ``chen_gadget(k)``
+-----------------------------
+
+``k + 1`` fully-parallel DAG tasks at geometrically spaced deadline scales,
+each of density exactly ``k``, on a platform of ``m = 2k + 1`` processors::
+
+    task i (i = 1 .. k+1):   D_i = base**i,   T_i = stretch * D_i,
+                             DAG = k * chunk independent vertices of
+                                   WCET D_i / chunk
+    =>  vol_i = k * D_i,  len_i = D_i / chunk,  delta_i = k,  u_i ~ 0
+
+Why it is *feasible* near speed 1 (nested-burst argument): the windows of a
+synchronous release are nested, so a non-federated scheduler can run job
+``i`` inside the sub-interval ``(D_{i-1}, D_i]`` alone at rate
+``k * D_i / (D_i - D_{i-1}) = k * base / (base - 1)`` -- at ``base = 2``
+that is ``2k <= m`` processors, one job at a time.  The repo's necessary
+conditions agree: ``LOAD = 2k (1 - 2^-(k+1)) <= m`` and
+``vol_i / (m * D_i) = k / (2k+1) < 1``, so
+:func:`~repro.analysis.feasibility.necessary_speed_bound` tends to 1 from
+below as ``k`` grows.
+
+Why FEDCONS needs speed ``k``: at any speed ``s < k`` every task has density
+``k / s > 1``, so all ``k + 1`` are high-density and MINPROCS must dedicate
+at least ``ceil(k/s) >= 2`` processors each -- ``2(k+1) > m`` processors in
+total -- and the high-density phase fails.  At ``s >= k`` the tasks drop to
+density ``<= 1``; each fits a singleton cluster (or collapses to a sequential
+task of WCET ``<= D_i`` and is partitioned), and ``k + 1 <= m`` suffices.
+The measured minimum accepting speed is therefore exactly ``k`` while the
+necessary-feasibility speed stays below 1: the empirical speedup requirement
+``s_FEDCONS / s_necessary`` grows without bound, overtaking ``3 - 1/m ~ 3``
+from ``k = 3`` on.  No constant speedup factor survives the family --
+exactly Chen's theorem, rendered executable.
+
+The hardness dial
+-----------------
+
+``hardness`` in ``(0, 1]`` scales the per-task density to
+``max(1, hardness * k)`` (vertex count, structure and platform unchanged),
+grading the family from a benign density-1 instance (``hardness <= 1/k``,
+admitted near speed 1) up to the full lower-bound gadget.  The predicted
+FEDCONS requirement is the density itself, so the dial produces *near-tight*
+instances at every speed level between 1 and ``k`` -- the stress fixtures
+the conformance harness and the golden tests replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+
+__all__ = [
+    "HARDNESS_GRADES",
+    "GadgetInstance",
+    "chen_gadget",
+    "hardness_dial",
+]
+
+#: The graded dial used by the golden fixtures and the conformance harness.
+HARDNESS_GRADES = (0.125, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class GadgetInstance:
+    """One generated gadget: the task system, its platform, and predictions.
+
+    Attributes
+    ----------
+    system / processors:
+        The task system and the platform size ``m = 2k + 1`` it targets.
+    k:
+        The hardness-family index (the unbounded-speedup parameter).
+    hardness:
+        The dial position in ``(0, 1]`` this instance was generated at.
+    density:
+        The realized per-task density ``max(1, hardness * k)`` (after vertex
+        rounding) -- every task in the gadget has exactly this density.
+    predicted_speed:
+        The analytic minimum FEDCONS accepting speed: the density itself
+        (below it the dedicated phase is over-subscribed, at it singleton
+        clusters / sequential collapse succeed).
+    """
+
+    system: TaskSystem
+    processors: int
+    k: int
+    hardness: float
+    density: float
+    predicted_speed: float
+
+    @property
+    def levels(self) -> int:
+        """Number of deadline scales (= tasks) in the gadget."""
+        return len(self.system)
+
+
+def chen_gadget(
+    k: int,
+    hardness: float = 1.0,
+    levels: int | None = None,
+    base: float = 2.0,
+    chunk: int = 4,
+    stretch: float = 1e4,
+    name_prefix: str = "chen",
+) -> GadgetInstance:
+    """The Chen lower-bound gadget at family index *k* and dial *hardness*.
+
+    Parameters
+    ----------
+    k:
+        Family index: the full-hardness gadget needs FEDCONS speed ``k``
+        while staying necessary-feasible near speed 1.
+    hardness:
+        Dial in ``(0, 1]``; the per-task density is ``max(1, hardness * k)``.
+    levels:
+        Number of deadline scales.  The default ``k + 1`` is the least count
+        for which the dedicated phase is over-subscribed at every speed below
+        the density (``2 * levels > m``); larger values deepen the geometric
+        nesting without changing the speed threshold.
+    base:
+        Geometric deadline spacing (``D_i = base ** i``).  The default 2
+        makes all WCETs exact binary floats, so analysis verdicts at the
+        speed threshold are razor-sharp rather than tolerance-dependent.
+    chunk:
+        Structure granularity: each task has ``round(density * chunk)``
+        independent vertices of WCET ``D_i / chunk``, so
+        ``len_i = D_i / chunk``.
+    stretch:
+        ``T_i = stretch * D_i`` -- the constrained-deadline gap that makes
+        dedicated clusters idle ``(1 - 1/stretch)`` of the time, which is
+        the structural waste the lower bound exploits.
+
+    Raises
+    ------
+    GenerationError
+        On out-of-range parameters (``k < 1``, ``hardness`` outside
+        ``(0, 1]``, ``base <= 1``, ``chunk < 2``, ``stretch <= 1``,
+        ``levels < k + 1``).
+    """
+    if k < 1:
+        raise GenerationError(f"gadget index k must be >= 1, got {k}")
+    if not 0.0 < hardness <= 1.0:
+        raise GenerationError(f"hardness must be in (0, 1], got {hardness}")
+    if base <= 1.0:
+        raise GenerationError(f"deadline base must be > 1, got {base}")
+    if chunk < 2:
+        raise GenerationError(f"chunk must be >= 2, got {chunk}")
+    if stretch <= 1.0:
+        raise GenerationError(f"period stretch must be > 1, got {stretch}")
+    n = k + 1 if levels is None else levels
+    if n < k + 1:
+        raise GenerationError(
+            f"levels must be >= k + 1 = {k + 1} (else the dedicated phase "
+            f"is not over-subscribed), got {n}"
+        )
+    count = max(chunk, round(max(1.0, hardness * k) * chunk))
+    density = count / chunk
+    tasks = []
+    for i in range(1, n + 1):
+        deadline = base ** i
+        dag = DAG.independent([deadline / chunk] * count)
+        tasks.append(
+            SporadicDAGTask(
+                dag=dag,
+                deadline=deadline,
+                period=stretch * deadline,
+                name=f"{name_prefix}_{i}",
+            )
+        )
+    return GadgetInstance(
+        system=TaskSystem(tasks),
+        processors=2 * k + 1,
+        k=k,
+        hardness=hardness,
+        density=density,
+        predicted_speed=density,
+    )
+
+
+def hardness_dial(
+    k: int,
+    grades: tuple[float, ...] = HARDNESS_GRADES,
+    **kwargs,
+) -> list[GadgetInstance]:
+    """The graded gadget family at index *k*, one instance per dial grade.
+
+    The returned instances share platform and structure and differ only in
+    density, so their measured FEDCONS speeds trace the dial from ~1 up to
+    ``k`` -- the near-tight frontier.  Keyword arguments are forwarded to
+    :func:`chen_gadget`.
+    """
+    if not grades:
+        raise GenerationError("hardness_dial needs at least one grade")
+    return [chen_gadget(k, hardness=grade, **kwargs) for grade in grades]

@@ -1,0 +1,29 @@
+"""Differential conformance testing of the analysis paths."""
+
+from repro.testing.conformance import (
+    RELATIONS,
+    ConformanceInstance,
+    ConformanceReport,
+    Violation,
+    adversarial_instances,
+    check_system,
+    default_instances,
+    fingerprint,
+    load_fixture_instance,
+    random_instances,
+    run_conformance,
+)
+
+__all__ = [
+    "RELATIONS",
+    "ConformanceInstance",
+    "ConformanceReport",
+    "Violation",
+    "adversarial_instances",
+    "check_system",
+    "default_instances",
+    "fingerprint",
+    "load_fixture_instance",
+    "random_instances",
+    "run_conformance",
+]

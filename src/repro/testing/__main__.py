@@ -1,0 +1,6 @@
+"""``python -m repro.testing``: the conformance harness CLI."""
+
+from repro.testing.conformance import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,27 @@
-"""Shared fixtures: canonical DAGs, tasks, and systems used across the suite."""
+"""Shared fixtures: canonical DAGs, tasks, and systems used across the suite.
+
+Also registers the hypothesis profiles: ``default`` (library defaults, what
+every interactive and tier-1 run uses) and ``thorough`` (the nightly CI
+profile -- an order of magnitude more examples per property, no deadline).
+Select with ``pytest --hypothesis-profile=thorough``.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import DAG, SporadicDAGTask, SporadicTask, TaskSystem
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "thorough",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
 
 
 @pytest.fixture

@@ -1,0 +1,176 @@
+"""The Chen lower-bound gadget family and the EXP-T divergence chart.
+
+The load-bearing claims pinned here, matching the analysis in
+:mod:`repro.generation.adversarial`:
+
+* **structure** -- ``chen_gadget(k)`` builds ``k+1`` fully-parallel tasks at
+  geometric deadline scales of density exactly ``max(1, hardness * k)`` for
+  a platform of ``2k + 1`` processors;
+* **razor-sharp threshold** -- FEDCONS rejects the gadget just below its
+  predicted speed and accepts at it (base-2 deadlines make the boundary a
+  matter of exact binary floats, not tolerances);
+* **unbounded divergence** -- the measured ``s_FEDCONS / s_necessary``
+  ratio grows monotonically with ``k`` and overtakes ``3 - 1/m`` within the
+  EXP-T sweep, while the system stays necessary-feasible near speed 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.feasibility import necessary_speed_bound
+from repro.analysis.speedup import minimum_fedcons_speed, theorem1_bound
+from repro.core.fedcons import fedcons
+from repro.errors import GenerationError
+from repro.experiments.exp_adversarial import run as run_exp_t
+from repro.generation.adversarial import (
+    HARDNESS_GRADES,
+    chen_gadget,
+    hardness_dial,
+)
+
+
+class TestGadgetStructure:
+    def test_default_shape(self):
+        gadget = chen_gadget(3)
+        assert gadget.k == 3
+        assert gadget.levels == 4 == len(gadget.system)
+        assert gadget.processors == 7
+        assert gadget.density == 3.0 == gadget.predicted_speed
+
+    def test_geometric_deadlines_and_stretched_periods(self):
+        gadget = chen_gadget(2, base=2.0, stretch=100.0)
+        deadlines = [task.deadline for task in gadget.system]
+        assert deadlines == [2.0, 4.0, 8.0]
+        for task in gadget.system:
+            assert task.period == 100.0 * task.deadline
+            assert task.is_constrained_deadline
+
+    def test_every_task_has_exact_density(self):
+        for hardness in HARDNESS_GRADES:
+            gadget = chen_gadget(4, hardness=hardness)
+            for task in gadget.system:
+                assert task.density == pytest.approx(gadget.density)
+                # Fully parallel: the span is one vertex, D / chunk.
+                assert task.span == task.deadline / 4
+
+    def test_hardness_floors_at_density_one(self):
+        gadget = chen_gadget(4, hardness=0.1)  # 0.4 < 1 floors to 1
+        assert gadget.density == 1.0
+        assert gadget.predicted_speed == 1.0
+
+    def test_levels_deepen_without_changing_platform(self):
+        deep = chen_gadget(2, levels=5)
+        assert deep.levels == 5
+        assert deep.processors == 5
+        assert deep.density == 2.0
+
+    def test_names_follow_prefix(self):
+        gadget = chen_gadget(1, name_prefix="adv")
+        assert [t.name for t in gadget.system] == ["adv_1", "adv_2"]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"k": 2, "hardness": 0.0},
+            {"k": 2, "hardness": 1.5},
+            {"k": 2, "base": 1.0},
+            {"k": 2, "chunk": 1},
+            {"k": 2, "stretch": 1.0},
+            {"k": 2, "levels": 2},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(GenerationError):
+            chen_gadget(**kwargs)
+
+    def test_dial_requires_grades(self):
+        with pytest.raises(GenerationError):
+            hardness_dial(2, grades=())
+
+
+class TestSpeedThreshold:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_rejected_below_and_accepted_at_prediction(self, k):
+        gadget = chen_gadget(k)
+        speed = gadget.predicted_speed
+        assert fedcons(gadget.system.scaled(speed), gadget.processors).success
+        if k > 1:  # at k = 1 the gadget is already accepted at speed 1
+            assert not fedcons(
+                gadget.system.scaled(0.999 * speed), gadget.processors
+            ).success
+
+    def test_measured_speed_equals_prediction(self):
+        for gadget in hardness_dial(3):
+            measured = minimum_fedcons_speed(gadget.system, gadget.processors)
+            assert measured == pytest.approx(
+                gadget.predicted_speed, rel=2e-3
+            )
+
+    def test_necessary_feasible_near_speed_one(self):
+        for k in (2, 4, 6):
+            gadget = chen_gadget(k)
+            assert necessary_speed_bound(
+                gadget.system, gadget.processors
+            ) < 1.0
+
+    def test_dial_traces_monotone_frontier(self):
+        speeds = [
+            minimum_fedcons_speed(g.system, g.processors)
+            for g in hardness_dial(4)
+        ]
+        assert speeds == sorted(speeds)
+        assert speeds[0] < speeds[-1]
+
+
+class TestUnboundedDivergence:
+    def test_ratio_grows_monotonically_and_exceeds_theorem1(self):
+        ratios = []
+        for k in (1, 2, 3, 4):
+            gadget = chen_gadget(k)
+            ratio = minimum_fedcons_speed(
+                gadget.system, gadget.processors
+            ) / necessary_speed_bound(gadget.system, gadget.processors)
+            ratios.append((k, ratio))
+        values = [ratio for _, ratio in ratios]
+        assert values == sorted(values)
+        crossed = [
+            k
+            for k, ratio in ratios
+            if ratio > theorem1_bound(2 * k + 1)
+        ]
+        assert crossed, "the family must overtake 3 - 1/m within the sweep"
+
+    def test_no_constant_speedup_factor(self):
+        # Any candidate constant c is beaten by some member of the family.
+        gadget = chen_gadget(8)
+        ratio = minimum_fedcons_speed(
+            gadget.system, gadget.processors
+        ) / necessary_speed_bound(gadget.system, gadget.processors)
+        assert ratio > 3.0  # beyond every 3 - 1/m
+
+    def test_speed_never_infinite(self):
+        for k in (1, 3, 5):
+            gadget = chen_gadget(k)
+            assert math.isfinite(
+                minimum_fedcons_speed(gadget.system, gadget.processors)
+            )
+
+
+class TestExpT:
+    def test_quick_run_shape(self):
+        sweep, dial = run_exp_t(quick=True)
+        assert "k" in sweep.columns and "ratio" in sweep.columns
+        assert "hardness" in dial.columns
+        assert len(sweep.rows) == 4
+        assert len(dial.rows) == len(HARDNESS_GRADES[::2])
+
+    def test_quick_run_reports_divergence(self):
+        sweep, _ = run_exp_t(quick=True)
+        by_column = dict(zip(sweep.columns, zip(*sweep.rows)))
+        ratios = by_column["ratio"]
+        assert list(ratios) == sorted(ratios)
+        assert any(by_column["exceeds bound?"])

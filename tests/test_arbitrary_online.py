@@ -1,0 +1,180 @@
+"""The arbitrary-deadline x online-controller seam.
+
+Batch ``fedcons`` refuses ``D > T`` systems with a ``ModelError``; an online
+server must not die on one bad arrival, so the controller instead *rejects*
+such tasks with the typed ``not_constrained`` reason and moves on.  The
+sound way to serve an arbitrary-deadline task is the clamp bridge of
+:mod:`repro.extensions.arbitrary_deadline`: ``constrain`` the deadline to
+``min(D, T)`` first, then admit.  These tests pin that seam from both
+sides: the rejection is typed, state-preserving and non-poisoning, and the
+clamped path agrees with the batch ``fedcons_arbitrary`` analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OnlineError
+from repro.extensions.arbitrary_deadline import (
+    constrain,
+    fedcons_arbitrary,
+    necessary_conditions_arbitrary,
+    stretch_deadlines,
+)
+from repro.generation.tasksets import SystemConfig, generate_system
+from repro.model.dag import DAG
+from repro.model.task import SporadicDAGTask
+from repro.model.taskset import TaskSystem
+from repro.online import HIGH_DENSITY, LOW_DENSITY, AdmissionController
+from repro.online.controller import NOT_CONSTRAINED
+
+from strategies import high_task, low_task, parallel_task
+
+M = 6
+
+
+def _arbitrary_task(name: str, ratio: float = 2.0) -> SporadicDAGTask:
+    """A well-formed task with ``D = ratio * T`` (arbitrary-deadline)."""
+    return parallel_task(1, 1.0, ratio * 5.0, 5.0, name)
+
+
+def _arbitrary_system(seed: int = 0) -> TaskSystem:
+    """A generated system pushed into the arbitrary-deadline regime."""
+    rng = np.random.default_rng(seed)
+    base = generate_system(
+        SystemConfig(
+            tasks=6,
+            processors=M,
+            normalized_utilization=0.4,
+            min_vertices=3,
+            max_vertices=6,
+        ),
+        rng,
+    )
+    return stretch_deadlines(base, (1.2, 3.0), rng)
+
+
+class TestNotConstrainedRejection:
+    def test_rejected_with_typed_reason_not_exception(self):
+        controller = AdmissionController(M)
+        decision = controller.admit(_arbitrary_task("arb"))
+        assert not decision.accepted
+        assert decision.reason == NOT_CONSTRAINED
+        assert decision.processors == ()
+
+    def test_kind_is_still_classified(self):
+        # Classification happens before the constrained check: a wide
+        # arbitrary-deadline task reports HIGH_DENSITY in its rejection.
+        controller = AdmissionController(M)
+        wide = parallel_task(4, 6.0, 8.0, 4.0, "wide-arb")  # D=8 > T=4
+        decision = controller.admit(wide)
+        assert not decision.accepted
+        assert decision.reason == NOT_CONSTRAINED
+        assert decision.kind == HIGH_DENSITY
+        narrow = controller.admit(_arbitrary_task("narrow-arb"))
+        assert narrow.kind == LOW_DENSITY
+
+    def test_state_is_untouched_and_still_canonical(self):
+        controller = AdmissionController(M)
+        assert controller.admit(low_task("resident")).accepted
+        before = controller.snapshot()
+        rejection = controller.admit(_arbitrary_task("arb"))
+        after = controller.snapshot()
+        assert not rejection.accepted
+        assert controller.admitted_ids == ("resident",)
+        assert controller.canonical
+        assert controller.matches_batch()
+        # Only the monotone sequence number may move on a rejection.
+        before.pop("seq"), after.pop("seq")
+        assert after == before
+
+    def test_rejection_does_not_poison_future_decisions(self):
+        poisoned = AdmissionController(M)
+        pristine = AdmissionController(M)
+        poisoned.admit(_arbitrary_task("arb"))
+        names = ["a", "b", "c"]
+        for name in names:
+            got = poisoned.admit(low_task(name, utilization=0.6))
+            want = pristine.admit(low_task(name, utilization=0.6))
+            assert got.accepted == want.accepted
+            assert got.processors == want.processors
+        poisoned.admit(high_task("h"))
+        pristine.admit(high_task("h"))
+        assert poisoned.admitted_ids == pristine.admitted_ids
+        assert poisoned.verify(exact=True)
+
+    def test_name_is_not_burned_by_a_rejection(self):
+        controller = AdmissionController(M)
+        assert not controller.admit(_arbitrary_task("reuse")).accepted
+        # The id stays free: a constrained task may claim it afterwards.
+        assert controller.admit(low_task("reuse")).accepted
+
+    def test_depart_of_rejected_task_is_caller_error(self):
+        controller = AdmissionController(M)
+        controller.admit(_arbitrary_task("arb"))
+        with pytest.raises(OnlineError):
+            controller.depart("arb")
+
+
+class TestConstrainBridge:
+    def test_clamped_task_is_admissible(self):
+        controller = AdmissionController(M)
+        raw = _arbitrary_task("arb")
+        assert not controller.admit(raw).accepted
+        (clamped,) = constrain(TaskSystem([raw]))
+        assert clamped.deadline == raw.period  # min(D, T) with D > T
+        assert clamped.is_constrained_deadline
+        assert controller.admit(clamped).accepted
+
+    def test_clamp_is_identity_on_constrained_tasks(self):
+        task = low_task("c")
+        (clamped,) = constrain(TaskSystem([task]))
+        assert clamped.deadline == task.deadline
+        assert clamped.period == task.period
+
+    def test_clamped_stream_matches_batch_reanalysis(self):
+        system = _arbitrary_system(seed=7)
+        controller = AdmissionController(M)
+        for task in system:
+            decision = controller.admit(task)
+            if not task.is_constrained_deadline:
+                assert decision.reason == NOT_CONSTRAINED
+        for task in constrain(system):
+            controller.admit(SporadicDAGTask(
+                dag=task.dag, deadline=task.deadline, period=task.period,
+                name=f"clamped-{task.name}",
+            ))
+        assert controller.verify(exact=True)
+        if controller.canonical:
+            assert controller.matches_batch()
+
+    def test_online_clamped_acceptance_implies_batch_acceptance(self):
+        # Admitting every clamped task one by one and succeeding means the
+        # whole original system is served -- exactly what the batch
+        # fedcons_arbitrary bridge promises for these instances.
+        for seed in range(5):
+            system = _arbitrary_system(seed=seed)
+            controller = AdmissionController(M)
+            decisions = [controller.admit(task) for task in constrain(system)]
+            if all(d.accepted for d in decisions):
+                assert controller.verify(exact=True)
+                assert necessary_conditions_arbitrary(
+                    system, M
+                ).feasible_maybe
+
+    def test_batch_bridge_agrees_with_direct_clamped_fedcons(self):
+        system = _arbitrary_system(seed=3)
+        via_bridge = fedcons_arbitrary(system, M)
+        from repro.core.fedcons import fedcons
+
+        direct = fedcons(constrain(system), M)
+        assert via_bridge.success == direct.success
+        assert via_bridge.shared_processors == direct.shared_processors
+
+    def test_stretch_generator_produces_the_regime(self):
+        system = _arbitrary_system(seed=1)
+        assert any(not t.is_constrained_deadline for t in system), (
+            "stretch_deadlines with factors > 1 must push some D past T"
+        )
+        assert all(t.is_constrained_deadline for t in constrain(system))

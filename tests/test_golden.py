@@ -4,40 +4,62 @@ byte -- and the committed 200-event admission trace must replay to the same
 per-event decisions.
 
 The experiments are RNG-free reconstructions of the paper's worked examples
-(Figure 1 quantities, the Example 2 witness family), so their tables are a
-pure function of the analysis code.  The online snapshot pins the whole
-admission pipeline instead: accept/reject, granted processors and migration
-counts for every event of a stored trace.  Any diff here means an algorithm
+(Figure 1 quantities, the Example 2 witness family) and of the Chen
+lower-bound divergence chart (EXP-T), so their tables are a pure function of
+the analysis code.  The online snapshot pins the whole admission pipeline
+instead: accept/reject, granted processors and migration counts for every
+event of a stored trace.  The gadget fixtures in ``tests/data/gadgets/``
+pin one Chen-gadget instance per hardness grade together with its FEDCONS
+verdict and measured speed frontier.  Any diff here means an algorithm
 change altered paper-facing numbers or admission decisions -- which must be
 a deliberate, reviewed event.  The snapshots in ``tests/data/`` were
 generated with::
 
     python -m repro.experiments.runner --experiment FIG1 --experiment EX2 \\
-        --out tests/data
+        --experiment EXP-T --out tests/data
     python -m repro.online.cli generate tests/data/online_trace.jsonl \\
         --events 200 -m 16 --seed 0
     python -m repro.online.cli replay tests/data/online_trace.jsonl -m 16 \\
         --oracle-every 5 --csv tests/data/online_decisions.csv
+
+and the gadget fixtures with the loop documented in
+``TestGoldenGadgetFixtures`` (same fields, ``json.dumps(indent=2,
+sort_keys=True)``).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.analysis.feasibility import necessary_speed_bound
+from repro.analysis.speedup import minimum_fedcons_speed
+from repro.core.fedcons import fedcons
 from repro.experiments.runner import main
+from repro.generation.adversarial import HARDNESS_GRADES, chen_gadget
+from repro.model.serialization import system_from_dict, system_to_dict
 
 DATA = Path(__file__).parent / "data"
 
-GOLDEN_FILES = ["fig1_0.csv", "fig1_1.csv", "ex2_0.csv"]
+GOLDEN_FILES = [
+    "fig1_0.csv",
+    "fig1_1.csv",
+    "ex2_0.csv",
+    "exp_t_0.csv",
+    "exp_t_1.csv",
+]
 
 
 @pytest.fixture(scope="module")
 def regenerated(tmp_path_factory) -> Path:
     out = tmp_path_factory.mktemp("golden")
     exit_code = main(
-        ["--experiment", "FIG1", "--experiment", "EX2", "--out", str(out)]
+        [
+            "--experiment", "FIG1", "--experiment", "EX2",
+            "--experiment", "EXP-T", "--out", str(out),
+        ]
     )
     assert exit_code == 0
     return out
@@ -68,6 +90,58 @@ class TestGoldenSnapshots:
         assert fig1.splitlines()[0].startswith('"# FIG1')
         ex2 = (DATA / "ex2_0.csv").read_text()
         assert "required speed" in ex2
+        expt = (DATA / "exp_t_0.csv").read_text()
+        assert "s_fedcons" in expt and "exceeds bound?" in expt
+
+
+class TestGoldenGadgetFixtures:
+    """One committed Chen-gadget instance per hardness grade, with pinned
+    FEDCONS verdict and measured speed frontier, replayed bit-for-bit."""
+
+    GADGETS = DATA / "gadgets"
+    K = 3
+
+    def fixture_paths(self) -> list[Path]:
+        return sorted(self.GADGETS.glob("gadget_h*.json"))
+
+    def test_one_fixture_per_hardness_grade(self):
+        documents = [
+            json.loads(path.read_text()) for path in self.fixture_paths()
+        ]
+        assert sorted(d["hardness"] for d in documents) == sorted(
+            HARDNESS_GRADES
+        )
+        assert {d["k"] for d in documents} == {self.K}
+
+    @pytest.mark.parametrize(
+        "grade", HARDNESS_GRADES, ids=lambda g: f"h{g}"
+    )
+    def test_fixture_replays_exactly(self, grade):
+        name = "gadget_h" + str(grade).replace(".", "_") + ".json"
+        document = json.loads((self.GADGETS / name).read_text())
+        gadget = chen_gadget(self.K, hardness=grade)
+        assert document["processors"] == gadget.processors
+        assert document["density"] == gadget.density
+        assert document["predicted_speed"] == gadget.predicted_speed
+        # The generator is deterministic: the committed task system must be
+        # reproduced field-for-field.
+        assert document["system"] == system_to_dict(gadget.system)
+        # ... and the pinned analysis verdicts must replay identically (the
+        # binary search is a pure function, so equality is exact).
+        verdict = fedcons(gadget.system, gadget.processors).success
+        assert document["accepted_at_speed_1"] == verdict
+        assert document["s_fedcons"] == minimum_fedcons_speed(
+            gadget.system, gadget.processors
+        )
+        assert document["s_necessary"] == necessary_speed_bound(
+            gadget.system, gadget.processors
+        )
+
+    def test_fixtures_round_trip_through_serialization(self):
+        for path in self.fixture_paths():
+            document = json.loads(path.read_text())
+            system = system_from_dict(document["system"])
+            assert system_to_dict(system) == document["system"]
 
 
 class TestGoldenOnlineTrace:

@@ -44,38 +44,9 @@ from repro.online import (
 )
 from repro.online.cli import admit_main
 
+from strategies import high_task, low_task, parallel_task, random_sporadics
+
 _TOL = 1e-9
-
-
-def _random_sporadics(rng: np.random.Generator, n: int) -> list[SporadicTask]:
-    tasks = []
-    for i in range(n):
-        wcet = float(rng.uniform(0.1, 3.0))
-        deadline = wcet + float(rng.uniform(0.1, 10.0))
-        period = deadline + float(rng.uniform(0.0, 10.0))
-        tasks.append(
-            SporadicTask(wcet=wcet, deadline=deadline, period=period, name=f"s{i}")
-        )
-    return tasks
-
-
-def _parallel_task(
-    width: int, wcet: float, deadline: float, period: float, name: str
-) -> SporadicDAGTask:
-    """*width* independent vertices of the given wcet: span = wcet,
-    volume = width * wcet, so density = width * wcet / deadline."""
-    dag = DAG({i: wcet for i in range(width)}, [])
-    return SporadicDAGTask(dag=dag, deadline=deadline, period=period, name=name)
-
-
-def _low_task(name: str, utilization: float = 0.2) -> SporadicDAGTask:
-    return _parallel_task(1, 8.0 * utilization, 6.0, 8.0, name)
-
-
-def _high_task(name: str, width: int = 3) -> SporadicDAGTask:
-    # width parallel vertices of length 2 against D=2: density = width >= 1
-    # and List Scheduling needs exactly `width` processors.
-    return _parallel_task(width, 2.0, 2.0, 10.0, name)
 
 
 # ---------------------------------------------------------------------------
@@ -84,7 +55,7 @@ def _high_task(name: str, width: int = 3) -> SporadicDAGTask:
 class TestShardState:
     def test_demand_matches_total_dbf_approx(self):
         rng = np.random.default_rng(7)
-        tasks = _random_sporadics(rng, 12)
+        tasks = random_sporadics(rng, 12)
         shard = ShardState((task, i) for i, task in enumerate(tasks))
         points = [0.0] + [t.deadline for t in tasks] + list(rng.uniform(0, 30, 20))
         for t in points:
@@ -96,7 +67,7 @@ class TestShardState:
         # Arrays are a pure function of the sorted contents: any
         # add/remove history yields the same sums as a fresh build.
         rng = np.random.default_rng(11)
-        tasks = _random_sporadics(rng, 8)
+        tasks = random_sporadics(rng, 8)
         churny = ShardState()
         for i, task in enumerate(tasks):
             churny.add(task, i)
@@ -125,9 +96,9 @@ class TestShardState:
     def test_fits_at_deadline_matches_demand_condition(self):
         rng = np.random.default_rng(3)
         for trial in range(30):
-            bucket = _random_sporadics(rng, int(rng.integers(0, 6)))
+            bucket = random_sporadics(rng, int(rng.integers(0, 6)))
             shard = ShardState((t, i) for i, t in enumerate(bucket))
-            (candidate,) = _random_sporadics(rng, 1)
+            (candidate,) = random_sporadics(rng, 1)
             # The historical _fits_demand bucket scan, verbatim.
             demand = total_dbf_approx(bucket, candidate.deadline)
             rate = sum(t.utilization for t in bucket)
@@ -143,7 +114,7 @@ class TestShardState:
         for trial in range(60):
             shard = ShardState()
             tasks: list[SporadicTask] = []
-            for i, task in enumerate(_random_sporadics(rng, 6)):
+            for i, task in enumerate(random_sporadics(rng, 6)):
                 if shard.fits_all_points(task):
                     shard.add(task, i)
                     tasks.append(task)
@@ -188,7 +159,7 @@ class TestPartitionIncremental:
         rng = np.random.default_rng(17)
         agreements = 0
         for trial in range(40):
-            tasks = _random_sporadics(rng, int(rng.integers(2, 12)))
+            tasks = random_sporadics(rng, int(rng.integers(2, 12)))
             m = int(rng.integers(1, 5))
             result = partition_sporadic(tasks, m)
             expected = self._reference_first_fit(tasks, m)
@@ -205,7 +176,7 @@ class TestPartitionIncremental:
         # redundant: the two admission tests must agree bucket for bucket.
         rng = np.random.default_rng(23)
         for trial in range(30):
-            tasks = _random_sporadics(rng, int(rng.integers(2, 14)))
+            tasks = random_sporadics(rng, int(rng.integers(2, 14)))
             m = int(rng.integers(1, 5))
             a = partition_sporadic(
                 tasks, m, admission=AdmissionTest.DBF_APPROX
@@ -220,7 +191,7 @@ class TestPartitionIncremental:
     def test_given_order_all_points_is_sound(self):
         rng = np.random.default_rng(29)
         for trial in range(30):
-            tasks = _random_sporadics(rng, int(rng.integers(2, 10)))
+            tasks = random_sporadics(rng, int(rng.integers(2, 10)))
             result = partition_sporadic(
                 tasks,
                 3,
@@ -242,10 +213,10 @@ class TestControllerBasics:
         with pytest.raises(OnlineError):
             controller.admit("not a task")
         with pytest.raises(OnlineError):
-            controller.admit(_low_task(""))  # unnamed
-        assert controller.admit(_low_task("a")).accepted
+            controller.admit(low_task(""))  # unnamed
+        assert controller.admit(low_task("a")).accepted
         with pytest.raises(OnlineError):
-            controller.admit(_low_task("a"))  # duplicate id
+            controller.admit(low_task("a"))  # duplicate id
         with pytest.raises(OnlineError):
             controller.depart("ghost")
         with pytest.raises(OnlineError):
@@ -256,7 +227,7 @@ class TestControllerBasics:
     def test_schedulability_problems_reject_not_raise(self):
         controller = AdmissionController(2)
         # D > T: not constrained-deadline (batch fedcons raises ModelError).
-        loose = _parallel_task(1, 1.0, 9.0, 5.0, "loose")
+        loose = parallel_task(1, 1.0, 9.0, 5.0, "loose")
         decision = controller.admit(loose)
         assert not decision.accepted and decision.reason == "not_constrained"
         # span > D: infeasible on any number of processors.
@@ -268,7 +239,7 @@ class TestControllerBasics:
         assert not decision.accepted
         assert decision.reason == "structurally_infeasible"
         # An oversized high-density task outgrows the platform.
-        wide = _high_task("wide", width=5)
+        wide = high_task("wide", width=5)
         decision = controller.admit(wide)
         assert not decision.accepted
         assert decision.reason == "high_density_phase"
@@ -277,10 +248,10 @@ class TestControllerBasics:
 
     def test_rejection_leaves_state_unchanged(self):
         controller = AdmissionController(4)
-        controller.admit(_high_task("h", width=3))
-        controller.admit(_low_task("l"))
+        controller.admit(high_task("h", width=3))
+        controller.admit(low_task("l"))
         before = controller.snapshot()
-        assert not controller.admit(_high_task("h2", width=3)).accepted
+        assert not controller.admit(high_task("h2", width=3)).accepted
         after = controller.snapshot()
         # Only the sequence counter advances on a rejection (rejected
         # arrivals are part of the event history the journal replays).
@@ -289,7 +260,7 @@ class TestControllerBasics:
 
     def test_high_density_admit_carves_right_tail(self):
         controller = AdmissionController(5)
-        decision = controller.admit(_high_task("h", width=3))
+        decision = controller.admit(high_task("h", width=3))
         assert decision.accepted and decision.kind == HIGH_DENSITY
         assert decision.processors == (2, 3, 4)
         assert controller.cluster_of("h") == (2, 3, 4)
@@ -298,9 +269,9 @@ class TestControllerBasics:
 
     def test_low_density_admit_first_fit(self):
         controller = AdmissionController(2)
-        first = controller.admit(_low_task("a", utilization=0.6))
-        second = controller.admit(_low_task("b", utilization=0.6))
-        third = controller.admit(_low_task("c", utilization=0.6))
+        first = controller.admit(low_task("a", utilization=0.6))
+        second = controller.admit(low_task("b", utilization=0.6))
+        third = controller.admit(low_task("c", utilization=0.6))
         assert first.accepted and first.kind == LOW_DENSITY
         assert controller.bucket_of("a") == 0
         assert second.accepted and controller.bucket_of("b") == 1
@@ -323,23 +294,23 @@ class TestControllerBasics:
 class TestReclamation:
     def test_departed_cluster_is_reusable_by_next_admit(self):
         controller = AdmissionController(6)
-        first = controller.admit(_high_task("h1", width=3))
-        second = controller.admit(_high_task("h2", width=2))
+        first = controller.admit(high_task("h1", width=3))
+        second = controller.admit(high_task("h2", width=2))
         assert first.processors == (3, 4, 5)
         assert second.processors == (1, 2)
         receipt = controller.depart("h1")
         assert receipt.released == (3, 4, 5)
         assert controller.shared_processors == (0, 3, 4, 5)
         # The freed physical processors carry the very next cluster.
-        third = controller.admit(_high_task("h3", width=3))
+        third = controller.admit(high_task("h3", width=3))
         assert third.accepted
         assert third.processors == (3, 4, 5)
         assert controller.matches_batch()
 
     def test_high_departure_keeps_low_placements(self):
         controller = AdmissionController(4)
-        controller.admit(_low_task("a"))
-        controller.admit(_high_task("h", width=3))
+        controller.admit(low_task("a"))
+        controller.admit(high_task("h", width=3))
         assert controller.shared_processors == (0,)
         controller.depart("h")
         assert controller.shared_processors == (0, 1, 2, 3)
@@ -350,7 +321,7 @@ class TestReclamation:
         controller = AdmissionController(3)
         for name in ("a", "b", "c"):
             # u = 0.6 each: one per bucket.
-            assert controller.admit(_low_task(name, utilization=0.6)).accepted
+            assert controller.admit(low_task(name, utilization=0.6)).accepted
         assert [controller.bucket_of(n) for n in "abc"] == [0, 1, 2]
         receipt = controller.depart("a")
         assert receipt.kind == LOW_DENSITY and receipt.clean
@@ -364,7 +335,7 @@ class TestReclamation:
     def test_no_repack_suspends_canonicity_until_compact(self):
         controller = AdmissionController(3, repack_on_departure=False)
         for name in ("a", "b", "c"):
-            controller.admit(_low_task(name, utilization=0.6))
+            controller.admit(low_task(name, utilization=0.6))
         controller.depart("a")
         assert not controller.canonical
         assert controller.bucket_of("b") == 1  # left in place
@@ -517,9 +488,9 @@ class TestObservability:
     def test_events_and_metrics(self):
         with tracing() as trace, collecting() as registry:
             controller = AdmissionController(4)
-            controller.admit(_high_task("h", width=3))
-            controller.admit(_low_task("l"))
-            controller.admit(_high_task("too-wide", width=9))  # rejected
+            controller.admit(high_task("h", width=3))
+            controller.admit(low_task("l"))
+            controller.admit(high_task("too-wide", width=9))  # rejected
             controller.depart("h")
             controller.depart("l")
         admissions = trace.events_of(Admission)

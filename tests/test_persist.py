@@ -49,6 +49,8 @@ from repro.online import (
 from repro.online.cli import admit_main
 from repro.online.persist import _replay_record
 
+from strategies import high_task, low_task
+
 DATA = Path(__file__).parent / "data"
 GOLDEN_TRACE = DATA / "online_trace.jsonl"
 M = 16  # platform size the golden trace was generated for
@@ -83,26 +85,6 @@ def boundary_snapshots(golden_journal) -> list[dict]:
         _replay_record(controller, record)
         snapshots.append(controller.snapshot())
     return snapshots
-
-
-def _low_task(name: str, utilization: float = 0.2):
-    from repro.model.dag import DAG
-    from repro.model.task import SporadicDAGTask
-
-    return SporadicDAGTask(
-        dag=DAG({0: 8.0 * utilization}, []),
-        deadline=6.0, period=8.0, name=name,
-    )
-
-
-def _high_task(name: str, width: int = 3):
-    from repro.model.dag import DAG
-    from repro.model.task import SporadicDAGTask
-
-    return SporadicDAGTask(
-        dag=DAG({i: 2.0 for i in range(width)}, []),
-        deadline=2.0, period=10.0, name=name,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -249,8 +231,8 @@ class TestSnapshotRestore:
         controller, _ = recover(None, path)
         restored = AdmissionController.restore(controller.snapshot())
         for probe in (
-            _low_task("probe-low", utilization=0.3),
-            _high_task("probe-high", width=2),
+            low_task("probe-low", utilization=0.3),
+            high_task("probe-high", width=2),
         ):
             a = controller.admit(probe)
             b = restored.admit(probe)
@@ -452,7 +434,7 @@ class TestCrashInjection:
         # must refuse it even with the (optional) digest stripped, so the
         # deadline check itself is what trips.
         controller = AdmissionController(4)
-        controller.admit(_high_task("h", width=3))
+        controller.admit(high_task("h", width=3))
         snapshot = json.loads(json.dumps(controller.snapshot()))
         record = next(
             r for r in snapshot["tasks"] if r["kind"] == "high_density"

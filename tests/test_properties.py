@@ -34,47 +34,7 @@ from repro.model.sporadic import SporadicTask
 from repro.model.task import SporadicDAGTask
 from repro.model.taskset import TaskSystem
 
-# ---------------------------------------------------------------------------
-# strategies
-# ---------------------------------------------------------------------------
-
-wcets = st.integers(min_value=1, max_value=20)
-
-
-@st.composite
-def dags(draw, max_vertices: int = 10):
-    """Random DAG: ordered vertices with forward edges chosen by index pairs."""
-    n = draw(st.integers(min_value=1, max_value=max_vertices))
-    weights = {i: float(draw(wcets)) for i in range(n)}
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
-    edges = [p for p, keep in zip(pairs, mask) if keep]
-    return DAG(weights, edges)
-
-
-@st.composite
-def sporadic_tasks(draw):
-    wcet = draw(st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
-    deadline = draw(st.floats(min_value=0.5, max_value=20.0, allow_nan=False))
-    period = draw(st.floats(min_value=deadline, max_value=40.0, allow_nan=False))
-    return SporadicTask(wcet=wcet, deadline=deadline, period=period)
-
-
-@st.composite
-def sporadic_sets(draw, max_tasks: int = 5):
-    n = draw(st.integers(min_value=1, max_value=max_tasks))
-    return [draw(sporadic_tasks()) for _ in range(n)]
-
-
-@st.composite
-def dag_tasks(draw):
-    dag = draw(dags(max_vertices=8))
-    span = dag.longest_chain_length
-    slack = draw(st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
-    period_extra = draw(st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
-    deadline = span * (1.0 + slack)
-    period = deadline * (1.0 + period_extra)
-    return SporadicDAGTask(dag, deadline, period)
+from strategies import dag_tasks, dags, sporadic_sets, sporadic_tasks, wcets
 
 
 # ---------------------------------------------------------------------------

@@ -22,19 +22,7 @@ from repro.core.fixed_priority import (
 from repro.core.partition import partition_sporadic
 from repro.model.sporadic import SporadicTask
 
-
-@st.composite
-def constrained_tasks(draw):
-    wcet = draw(st.floats(min_value=0.1, max_value=4.0, allow_nan=False))
-    period = draw(st.floats(min_value=1.0, max_value=30.0, allow_nan=False))
-    deadline = draw(st.floats(min_value=0.5, max_value=period, allow_nan=False))
-    return SporadicTask(wcet=wcet, deadline=deadline, period=period)
-
-
-@st.composite
-def constrained_sets(draw, max_tasks: int = 5):
-    n = draw(st.integers(min_value=1, max_value=max_tasks))
-    return [draw(constrained_tasks()) for _ in range(n)]
+from strategies import constrained_sets, constrained_tasks
 
 
 class TestFixedPriorityProperties:
