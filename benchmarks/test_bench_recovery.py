@@ -59,7 +59,7 @@ def test_bench_recovery(tmp_path):
 
     # Build the durable state a crashed server leaves behind (fsync off:
     # the "crash" is simulated, and we are timing recovery, not commits).
-    with Journal(journal_path, fsync=False) as journal:
+    with Journal(journal_path, fsync="off") as journal:
         durable = DurableController(
             AdmissionController(_CONFIG.processors), journal,
             checkpoint_path=checkpoint_path,

@@ -175,7 +175,7 @@ def test_bench_telemetry_overhead_and_artifacts(tmp_path):
     tracer = SpanTracer()
     try:
         with span_tracing(tracer):
-            with Journal(tmp_path / "bench.journal", fsync=False) as journal:
+            with Journal(tmp_path / "bench.journal", fsync="off") as journal:
                 replay(
                     DurableController(
                         AdmissionController(_PROCESSORS), journal
@@ -207,7 +207,7 @@ def test_bench_telemetry_overhead_and_artifacts(tmp_path):
     previous_hook = sys.excepthook
     sys.excepthook = lambda *exc_info: None  # silence the chained hook
     try:
-        with Journal(tmp_path / "crash.journal", fsync=False) as journal:
+        with Journal(tmp_path / "crash.journal", fsync="off") as journal:
             durable = DurableController(
                 AdmissionController(_PROCESSORS), journal
             )

@@ -47,3 +47,10 @@ class PersistenceError(OnlineError):
     """Durable controller state (checkpoint, journal, or trace file) is
     corrupt beyond the recoverable torn tail, or its schema version is not
     supported by this build."""
+
+
+class ServiceError(OnlineError):
+    """An admission-service request violates the wire protocol (unparsable
+    line, unknown op, missing field), or the server/standby pair detected a
+    replication fault (gap in the streamed records, over-acknowledgement,
+    promotion of an unverifiable standby)."""

@@ -87,7 +87,7 @@ def _build_wreck(
     slug = label.replace(" ", "_").replace("=", "")
     journal_path = directory / f"{slug}_{seed}.journal"
     checkpoint_path = directory / f"{slug}_{seed}.ckpt.json"
-    with Journal(journal_path, fsync=False) as journal:
+    with Journal(journal_path, fsync="off") as journal:
         durable = DurableController(
             AdmissionController(config.processors), journal,
             checkpoint_path=checkpoint_path, checkpoint_every=every,

@@ -43,6 +43,7 @@ from repro.experiments import (
     exp_reservation,
     exp_response,
     exp_runtime,
+    exp_service,
     exp_simulation,
     exp_speedup,
     exp_workload,
@@ -86,6 +87,7 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "EXP-O": ("dedicated-cluster capacity fragmentation", exp_fragmentation.run),
     "EXP-P": ("online admission soak + incremental throughput", exp_online.run),
     "EXP-R": ("crash-injection soak + recovery throughput", exp_recovery.run),
+    "EXP-S": ("admission-service soak: throughput + failover", exp_service.run),
     "EXP-T": ("adversarial tightness frontier (Chen gadget)", exp_adversarial.run),
 }
 

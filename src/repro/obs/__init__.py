@@ -44,6 +44,7 @@ Typical use::
 
 from repro.obs.events import (
     Admission,
+    BatchCommit,
     Checkpoint,
     Departure,
     MinprocsStep,
@@ -51,6 +52,7 @@ from repro.obs.events import (
     ObsEvent,
     PartitionAttempt,
     PhaseComplete,
+    Promotion,
     Reclamation,
     Recovery,
     Rejection,
@@ -82,6 +84,16 @@ from repro.obs.spans import (
     span_tracing,
 )
 
+def to_prometheus() -> str:
+    """Prometheus text exposition of the process-global metrics registry.
+
+    Convenience wrapper over :meth:`MetricsRegistry.to_prometheus` on the
+    shared :data:`metrics` instance -- what the admission service's
+    ``/metrics`` endpoint serves.
+    """
+    return metrics.to_prometheus()
+
+
 __all__ = [
     "ROOT_LOGGER_NAME",
     "JsonFormatter",
@@ -94,7 +106,9 @@ __all__ = [
     "PhaseComplete",
     "Rejection",
     "Admission",
+    "BatchCommit",
     "Departure",
+    "Promotion",
     "Reclamation",
     "Checkpoint",
     "Recovery",
@@ -106,6 +120,7 @@ __all__ = [
     "collecting",
     "metrics",
     "percentile",
+    "to_prometheus",
     "Span",
     "SpanTracer",
     "span",

@@ -226,6 +226,37 @@ class Reclamation(ObsEvent):
     clean: bool
 
 
+@dataclass(frozen=True)
+class BatchCommit(ObsEvent):
+    """The admission service committed one coalesced batch of arrivals.
+
+    ``size`` counts the requests coalesced into the group; ``accepted``
+    how many were admitted; ``synced`` whether the group ended with a
+    journal fsync (the batch's durability point).
+    """
+
+    size: int
+    accepted: int
+    synced: bool
+
+
+@dataclass(frozen=True)
+class Promotion(ObsEvent):
+    """A warm standby took over after the primary died.
+
+    ``replicated`` counts journal records the standby had already applied
+    when the primary was declared dead; ``staleness`` is the in-flight
+    window (primary records never streamed); ``verified`` whether the
+    promoted state passed ``recover(verify=True)``-equivalence;
+    ``failover_seconds`` is the measured death-to-serving time.
+    """
+
+    replicated: int
+    staleness: int
+    verified: bool
+    failover_seconds: float
+
+
 E = TypeVar("E", bound=ObsEvent)
 
 

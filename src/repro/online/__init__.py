@@ -33,9 +33,12 @@ from repro.online.controller import (
     template_digest,
 )
 from repro.online.persist import (
+    FSYNC_POLICIES,
     DurableController,
     Journal,
+    JournalFollower,
     RecoveryReport,
+    ReplicationCursor,
     load_checkpoint,
     recover,
     write_checkpoint,
@@ -57,8 +60,11 @@ __all__ = [
     "AdmissionDecision",
     "DepartureReceipt",
     "template_digest",
+    "FSYNC_POLICIES",
     "DurableController",
     "Journal",
+    "JournalFollower",
+    "ReplicationCursor",
     "RecoveryReport",
     "write_checkpoint",
     "load_checkpoint",

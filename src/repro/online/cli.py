@@ -8,13 +8,14 @@ Three subcommands::
     fedcons-admit replay TRACE.jsonl -m 16 [--csv OUT.csv]
                   [--oracle-every N] [--metrics OUT.json] [--no-repack]
                   [--journal J.jsonl] [--checkpoint C.json]
-                  [--checkpoint-every N] [--recover] [--no-fsync]
+                  [--checkpoint-every N] [--recover]
+                  [--fsync always|batch|off]
         feed the trace through an AdmissionController and report per-event
         accept/reject decisions, throughput and admission latency; with
         ``--oracle-every N`` every N-th event is cross-checked against a
         from-scratch batch FEDCONS re-analysis.  With ``--journal`` every
-        decision is committed to an append-only event journal (fsync per
-        commit unless ``--no-fsync``), with ``--checkpoint-every N`` the
+        decision is committed to an append-only event journal (durability
+        per ``--fsync``), with ``--checkpoint-every N`` the
         state is atomically re-published to ``--checkpoint`` every N events,
         and ``--recover`` first rebuilds the controller from the checkpoint
         + journal before replaying (so an interrupted replay resumes where
@@ -127,9 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "replaying (resume an interrupted replay)",
     )
     rep.add_argument(
-        "--no-fsync", action="store_true",
-        help="do not fsync each journal commit (faster; an OS crash may "
-        "lose the last few events, a process crash may not)",
+        "--fsync", choices=("always", "batch", "off"), default="always",
+        help="journal durability policy: 'always' fsyncs each commit, "
+        "'batch' defers to one group fsync per coalesced batch, 'off' "
+        "never fsyncs (faster; an OS crash may lose the last few events, "
+        "a process crash may not)",
     )
     add_observability_arguments(rep)
     add_telemetry_arguments(rep)
@@ -288,7 +291,7 @@ def _replay(args: argparse.Namespace) -> int:
             args.processors, repack_on_departure=not args.no_repack
         )
     if args.journal is not None:
-        journal = Journal(args.journal, fsync=not args.no_fsync)
+        journal = Journal(args.journal, fsync=args.fsync)
         controller = DurableController(
             controller, journal,
             checkpoint_path=args.checkpoint,

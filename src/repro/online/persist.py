@@ -22,11 +22,22 @@ the contract survive the scheduler, with the classic database recipe:
   :class:`~repro.errors.PersistenceError` instead of silently serving from
   a wrong state.
 
-The durability point is ``Journal.append`` returning: an event is part of
-history once its record is fsynced, and :class:`DurableController` applies
-the event to the in-memory state *before* journaling it, so a crash between
-the two replays the event from the previous record boundary -- sound either
-way because the controller is a deterministic function of its event history.
+The durability point is ``Journal.append`` returning under the default
+``fsync="always"`` policy: an event is part of history once its record is
+fsynced, and :class:`DurableController` applies the event to the in-memory
+state *before* journaling it, so a crash between the two replays the event
+from the previous record boundary -- sound either way because the
+controller is a deterministic function of its event history.  Under the
+``batch`` policy the durability point moves to :meth:`Journal.sync` (one
+group commit per coalesced admit batch, the admission-service fast path);
+``off`` trades durability for speed in experiments.
+
+The journal doubles as the replication stream: :class:`JournalFollower`
+tail-reads complete records as a writer appends them (never consuming a
+torn tail), and :class:`ReplicationCursor` tracks how far a warm standby
+has streamed and acknowledged, bounding failover staleness to the
+in-flight window.  See :mod:`repro.service` for the server/standby pair
+built on these pieces.
 
 Typical use::
 
@@ -46,6 +57,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -66,7 +78,10 @@ from repro.online.controller import (
 __all__ = [
     "JOURNAL_SCHEMA",
     "CHECKPOINT_SCHEMA",
+    "FSYNC_POLICIES",
     "Journal",
+    "JournalFollower",
+    "ReplicationCursor",
     "DurableController",
     "RecoveryReport",
     "write_checkpoint",
@@ -91,8 +106,16 @@ def _dump(record: dict) -> str:
     return json.dumps(record, separators=(",", ":"))
 
 
+#: Durability policies for :class:`Journal` appends, weakest-to-strongest
+#: cost: ``"off"`` never forces stable storage (simulated-crash replays),
+#: ``"batch"`` defers the fsync to the next :meth:`Journal.sync` (the
+#: admission service's group commit: one fsync per coalesced batch),
+#: ``"always"`` fsyncs every append (the PR 4 default, one fsync per event).
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
 class Journal:
-    """Append-only JSONL event log with fsync-on-commit.
+    """Append-only JSONL event log with a configurable fsync policy.
 
     Opening an existing journal scans it once: a crash-torn final record
     (unparsable *and* missing its newline) is logged, counted in
@@ -102,14 +125,35 @@ class Journal:
     numbered contiguously by an ``n`` field assigned here -- a gap on read
     also raises, so silent record loss cannot masquerade as a short history.
 
-    With ``fsync=False`` appends are still flushed to the OS but not forced
-    to stable storage -- an opt-out for bulk experiment replays where the
-    "crash" is simulated anyway.
+    *fsync* selects the durability point (see :data:`FSYNC_POLICIES`):
+
+    ``"always"``
+        each :meth:`append` is fsynced before returning -- an event is part
+        of history the moment its commit call returns;
+    ``"batch"``
+        appends are written and flushed to the OS, but the fsync is deferred
+        to the next :meth:`sync` -- the group-commit mode the admission
+        service uses (one fsync per coalesced batch of concurrent arrivals);
+        a host crash may lose the current unsynced group, a process crash
+        may not;
+    ``"off"``
+        appends are flushed but never fsynced -- for bulk experiment replays
+        where the "crash" is simulated anyway.
+
+    The legacy boolean (``True``/``False`` from the PR 4 API) is still
+    accepted and maps to ``"always"``/``"off"``.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+    def __init__(self, path: str | Path, fsync: str | bool = "always") -> None:
+        if isinstance(fsync, bool):
+            fsync = "always" if fsync else "off"
+        if fsync not in FSYNC_POLICIES:
+            raise OnlineError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
         self._path = Path(path)
         self._fsync = fsync
+        self._dirty = False  # batch mode: unsynced appends pending
         self._truncate_torn_tail()
         records, torn = read_jsonl(self._path) if self._path.exists() else ([], False)
         assert not torn  # the tail was physically truncated above
@@ -146,20 +190,30 @@ class Journal:
         """Number of complete records in the journal (== the next ``n``)."""
         return self._entries
 
+    @property
+    def fsync_policy(self) -> str:
+        """The configured durability policy (see :data:`FSYNC_POLICIES`)."""
+        return self._fsync
+
     def append(self, record: dict) -> int:
         """Commit one record; returns its index ``n``.
 
-        The event is durable when this returns: the line is written in one
-        call, flushed, and (unless the journal was opened with
-        ``fsync=False``) fsynced to stable storage.
+        Under the ``"always"`` policy the event is durable when this
+        returns; under ``"batch"`` it is durable at the next :meth:`sync`
+        (and flushed to the OS either way).  A *record* that already carries
+        an ``n`` field (a replicated record from another journal) keeps it
+        -- the standby's journal is a verbatim copy, and the contiguity
+        check on reopen still applies.
         """
         n = self._entries
         with _span("online.journal.append", n=n, fsync=self._fsync):
             started = time.perf_counter() if _metrics.enabled else 0.0
             self._handle.write(_dump({"n": n, **record}) + "\n")
             self._handle.flush()
-            if self._fsync:
+            if self._fsync == "always":
                 os.fsync(self._handle.fileno())
+            elif self._fsync == "batch":
+                self._dirty = True
             self._entries = n + 1
             if _metrics.enabled:
                 _metrics.incr("online.journal.appends")
@@ -169,8 +223,27 @@ class Journal:
                 )
         return n
 
+    def sync(self) -> None:
+        """Force pending appends to stable storage (the group-commit point).
+
+        Only meaningful under the ``"batch"`` policy, and only when appends
+        are pending: ``"always"`` has nothing to flush and ``"off"`` opted
+        out of durability entirely, so both are no-ops.
+        """
+        if self._fsync != "batch" or not self._dirty:
+            return
+        started = time.perf_counter() if _metrics.enabled else 0.0
+        os.fsync(self._handle.fileno())
+        self._dirty = False
+        if _metrics.enabled:
+            _metrics.incr("online.journal.group_syncs")
+            _metrics.record_time(
+                "online.journal.sync_seconds", time.perf_counter() - started
+            )
+
     def close(self) -> None:
         if not self._handle.closed:
+            self.sync()
             self._handle.close()
 
     def __enter__(self) -> "Journal":
@@ -196,6 +269,127 @@ def _validate_contiguous(records: list[dict], path: str | Path) -> None:
                 f"{path}: journal record {expected} carries n={record.get('n')!r}; "
                 "records are missing or reordered (mid-file corruption)"
             )
+
+
+class JournalFollower:
+    """Incremental (tail-follow) reader of a live journal file.
+
+    Each :meth:`poll` returns the complete records appended since the last
+    poll, in order, never consuming a partially written final line -- the
+    follower only advances past newline-terminated records, so it can run
+    concurrently with a writer that is mid-append.  Contiguity of the ``n``
+    numbering is enforced across polls; a gap raises
+    :class:`PersistenceError` exactly like a mid-file corruption on open.
+
+    This is the replication substrate for a standby that shares the
+    primary's filesystem, and the catch-up reader the admission service uses
+    to stream journal history to a newly subscribed replica.
+    """
+
+    def __init__(self, path: str | Path, start: int = 0) -> None:
+        if start < 0:
+            raise OnlineError(f"start offset must be >= 0, got {start}")
+        self._path = Path(path)
+        self._position = 0  # byte offset of the first unconsumed record
+        self._next = 0  # record number the next poll must yield first
+        if start:
+            # Fast-forward through (and validate) the skipped prefix.
+            skipped = self.poll(limit=start)
+            if len(skipped) < start:
+                raise PersistenceError(
+                    f"{self._path}: cannot start following at record {start}; "
+                    f"journal holds only {len(skipped)} complete record(s)"
+                )
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def position(self) -> int:
+        """Record number the next :meth:`poll` result starts at."""
+        return self._next
+
+    def poll(self, limit: int | None = None) -> list[dict]:
+        """New complete records since the last poll (empty when none).
+
+        With *limit* set, at most that many records are consumed; the rest
+        stay buffered in the file for the next poll.
+        """
+        if not self._path.exists():
+            return []
+        with open(self._path, "rb") as handle:
+            handle.seek(self._position)
+            raw = handle.read()
+        records: list[dict] = []
+        offset = 0
+        while offset < len(raw):
+            if limit is not None and len(records) >= limit:
+                break
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break  # torn tail (or mid-append): leave it for next poll
+            line = raw[offset : newline + 1]
+            stripped = line.strip()
+            if stripped:
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    raise PersistenceError(
+                        f"{self._path}: unparsable newline-terminated record "
+                        f"at byte {self._position + offset} (mid-file "
+                        f"corruption): {exc}"
+                    ) from exc
+                if record.get("n") != self._next:
+                    raise PersistenceError(
+                        f"{self._path}: expected record {self._next}, found "
+                        f"n={record.get('n')!r}; records are missing or "
+                        "reordered"
+                    )
+                records.append(record)
+                self._next += 1
+            offset = newline + 1
+            self._position += len(line)
+        return records
+
+
+@dataclass
+class ReplicationCursor:
+    """Progress of one journal follower (a warm standby) against a primary.
+
+    ``streamed`` counts records handed to the follower's transport;
+    ``acked`` counts records the follower confirmed *applied* (its
+    acknowledgement offset).  The primary's failover-staleness bound is the
+    in-flight window ``entries - acked`` -- everything older is already live
+    in the standby's state, not merely in its socket buffer.
+    """
+
+    streamed: int = 0
+    acked: int = 0
+
+    def advance(self, streamed: int) -> None:
+        if streamed > self.streamed:
+            self.streamed = streamed
+
+    def acknowledge(self, acked: int) -> None:
+        """Record the follower's applied-offset acknowledgement.
+
+        Acknowledgements are monotone; a stale or duplicated ack (replicas
+        may re-send on reconnect) is ignored, an ack beyond what was ever
+        streamed is a protocol violation.
+        """
+        if acked > self.streamed:
+            raise PersistenceError(
+                f"replica acknowledged {acked} record(s) but only "
+                f"{self.streamed} were streamed to it"
+            )
+        if acked > self.acked:
+            self.acked = acked
+
+    @property
+    def lag(self) -> int:
+        """Records streamed but not yet acknowledged (the in-flight window)."""
+        return self.streamed - self.acked
 
 
 # ---------------------------------------------------------------------------
@@ -584,6 +778,35 @@ class DurableController:
             self._journal.append(admit_record(task, decision))
             self._committed()
             return decision
+
+    def admit_many(
+        self, tasks: Iterable[SporadicDAGTask]
+    ) -> list[AdmissionDecision]:
+        """Commit a coalesced batch of arrivals with one group fsync.
+
+        Each task is applied and journaled exactly as :meth:`admit` would
+        (same decisions, same record contents, same order), but under the
+        ``batch`` fsync policy the journal is flushed once after the whole
+        group instead of once per record -- this is the durability point for
+        the entire batch, and the throughput lever the admission service
+        relies on.  Under ``always``/``off`` policies the call degrades to a
+        plain sequential loop.
+        """
+        tasks = list(tasks)
+        with _span("online.commit_group", op="admit_many", size=len(tasks)):
+            decisions = []
+            try:
+                for task in tasks:
+                    decision = self._controller.admit(task)
+                    self._journal.append(admit_record(task, decision))
+                    decisions.append(decision)
+            finally:
+                # Whatever was applied must be durable, even if a later
+                # task in the batch raised a caller error.
+                self._journal.sync()
+            for _ in decisions:
+                self._committed()
+            return decisions
 
     def depart(self, task_id: str) -> DepartureReceipt:
         with _span("online.commit", op="depart", task=task_id):

@@ -1,0 +1,90 @@
+"""Blocking client for the admission service's LDJSON protocol.
+
+One socket, one request/response per call -- deliberately synchronous so
+tests, the load drivers and the ``fedcons-serve client`` subcommand can use
+it without an event loop.  Open several clients for concurrency (that is
+what the server's batching coalesces).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ServiceError
+from repro.model.serialization import task_to_dict
+from repro.model.task import SporadicDAGTask
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decision_from_dict,
+    decode,
+    encode,
+    receipt_from_dict,
+)
+
+__all__ = ["AdmissionClient"]
+
+
+class AdmissionClient:
+    """Talk to a running :class:`~repro.service.server.AdmissionServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, message: dict) -> dict:
+        """One raw request/response round trip."""
+        self._file.write(encode(message))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ServiceError("server closed the connection mid-request")
+        return decode(line)
+
+    def _checked(self, message: dict) -> dict:
+        response = self.request(message)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"{message.get('op')} failed "
+                f"[{response.get('code')}]: {response.get('error')}"
+            )
+        return response
+
+    def admit(self, task: SporadicDAGTask):
+        """Admit one task; returns the server's AdmissionDecision.
+
+        Rejections are decisions (``accepted == False``), not errors; a
+        caller error (duplicate id, malformed task) raises
+        :class:`ServiceError` like the in-process controller raises
+        :class:`~repro.errors.OnlineError`.
+        """
+        response = self._checked(
+            {"op": "admit", "task": task_to_dict(task)}
+        )
+        return decision_from_dict(response["decision"])
+
+    def depart(self, task_id: str):
+        response = self._checked({"op": "depart", "task_id": task_id})
+        return receipt_from_dict(response["receipt"])
+
+    def query(self) -> dict:
+        return self._checked({"op": "query"})["state"]
+
+    def metrics(self) -> str:
+        return self._checked({"op": "metrics"})["text"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "AdmissionClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

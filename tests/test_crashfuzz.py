@@ -44,7 +44,7 @@ def _adversarial_soak(directory: Path) -> tuple[Path, Path]:
     """Journal + rotated checkpoint of a gadget-family admission soak."""
     journal_path = directory / "soak.journal"
     checkpoint_path = directory / "soak.checkpoint"
-    with Journal(journal_path, fsync=False) as journal:
+    with Journal(journal_path, fsync="off") as journal:
         durable = DurableController(
             AdmissionController(M),
             journal,

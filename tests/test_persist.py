@@ -59,7 +59,7 @@ M = 16  # platform size the golden trace was generated for
 def _journal_from_golden(directory: Path) -> Path:
     """Replay the committed golden trace through a journaling controller."""
     path = directory / "golden.journal"
-    with Journal(path, fsync=False) as journal:
+    with Journal(path, fsync="off") as journal:
         durable = DurableController(AdmissionController(M), journal)
         replay(durable, load_trace(GOLDEN_TRACE))
     return path
@@ -168,10 +168,10 @@ class TestReadJsonl:
 class TestJournal:
     def test_appends_are_numbered_contiguously(self, tmp_path):
         path = tmp_path / "j.jsonl"
-        with Journal(path, fsync=False) as journal:
+        with Journal(path, fsync="off") as journal:
             assert journal.append({"kind": "compact", "migrations": 0}) == 0
             assert journal.append({"kind": "compact", "migrations": 1}) == 1
-        with Journal(path, fsync=False) as journal:  # reopen continues
+        with Journal(path, fsync="off") as journal:  # reopen continues
             assert journal.entries == 2
             assert journal.append({"kind": "compact", "migrations": 2}) == 2
         records, torn = Journal.read(path)
@@ -180,12 +180,12 @@ class TestJournal:
 
     def test_torn_tail_is_physically_truncated_on_open(self, tmp_path, caplog):
         path = tmp_path / "j.jsonl"
-        with Journal(path, fsync=False) as journal:
+        with Journal(path, fsync="off") as journal:
             journal.append({"kind": "compact", "migrations": 0})
         clean = path.read_bytes()
         path.write_bytes(clean + b'{"n": 1, "kind": "comp')  # crash mid-write
         with caplog.at_level("WARNING"):
-            with Journal(path, fsync=False) as journal:
+            with Journal(path, fsync="off") as journal:
                 assert journal.entries == 1
                 journal.append({"kind": "compact", "migrations": 1})
         assert any("torn" in r.message for r in caplog.records)
@@ -196,7 +196,7 @@ class TestJournal:
         path = tmp_path / "j.jsonl"
         path.write_text('{"n": 0, "kind": "genesis"}\n{"n": 2, "kind": "compact"}\n')
         with pytest.raises(PersistenceError):
-            Journal(path, fsync=False)
+            Journal(path, fsync="off")
 
     def test_read_does_not_modify_the_file(self, tmp_path):
         path = tmp_path / "j.jsonl"
@@ -411,7 +411,7 @@ class TestCrashInjection:
 
     def test_unknown_record_kind_rejected(self, tmp_path):
         path = tmp_path / "j.jsonl"
-        with Journal(path, fsync=False) as journal:
+        with Journal(path, fsync="off") as journal:
             journal.append(
                 {
                     "kind": "genesis", "journal_schema": 1, "processors": 4,
@@ -424,7 +424,7 @@ class TestCrashInjection:
 
     def test_journal_without_genesis_needs_a_checkpoint(self, tmp_path):
         path = tmp_path / "j.jsonl"
-        with Journal(path, fsync=False) as journal:
+        with Journal(path, fsync="off") as journal:
             journal.append({"kind": "compact", "migrations": 0, "clean": True})
         with pytest.raises(PersistenceError, match="genesis"):
             recover(None, path)
@@ -456,7 +456,7 @@ class TestCheckpointRotation:
         events = load_trace(GOLDEN_TRACE)[:60]
         journal = tmp_path / "j.jsonl"
         checkpoint = tmp_path / "c.json"
-        with Journal(journal, fsync=False) as j:
+        with Journal(journal, fsync="off") as j:
             durable = DurableController(
                 AdmissionController(M), j,
                 checkpoint_path=checkpoint, checkpoint_every=10,
@@ -476,13 +476,13 @@ class TestCheckpointRotation:
         assert set(tmp_path.iterdir()) == {journal, checkpoint}  # no temps
 
     def test_explicit_checkpoint_requires_a_path(self, tmp_path):
-        with Journal(tmp_path / "j.jsonl", fsync=False) as j:
+        with Journal(tmp_path / "j.jsonl", fsync="off") as j:
             durable = DurableController(AdmissionController(4), j)
             with pytest.raises(OnlineError):
                 durable.checkpoint()
 
     def test_checkpoint_every_requires_a_path(self, tmp_path):
-        with Journal(tmp_path / "j.jsonl", fsync=False) as j:
+        with Journal(tmp_path / "j.jsonl", fsync="off") as j:
             with pytest.raises(OnlineError):
                 DurableController(
                     AdmissionController(4), j, checkpoint_every=5
@@ -507,7 +507,7 @@ class TestObservability:
         journal = tmp_path / "j.jsonl"
         checkpoint = tmp_path / "c.json"
         with collecting() as registry, tracing() as ctx:
-            with Journal(journal, fsync=False) as j:
+            with Journal(journal, fsync="off") as j:
                 durable = DurableController(
                     AdmissionController(M), j,
                     checkpoint_path=checkpoint, checkpoint_every=8,
@@ -532,7 +532,7 @@ class TestObservability:
 
     def test_torn_tail_metric(self, tmp_path):
         path = tmp_path / "j.jsonl"
-        with Journal(path, fsync=False) as j:
+        with Journal(path, fsync="off") as j:
             j.append(
                 {
                     "kind": "genesis", "journal_schema": 1, "processors": 4,
@@ -556,7 +556,7 @@ class TestDurableCli:
         reference = AdmissionController(M)
         replay(reference, load_trace(GOLDEN_TRACE))
         # "Crash" after 100 events: journal the first half only.
-        with Journal(journal, fsync=False) as j:
+        with Journal(journal, fsync="off") as j:
             durable = DurableController(
                 AdmissionController(M), j,
                 checkpoint_path=checkpoint, checkpoint_every=30,
@@ -569,7 +569,7 @@ class TestDurableCli:
             [
                 "replay", str(GOLDEN_TRACE), "-m", str(M),
                 "--journal", str(journal), "--checkpoint", str(checkpoint),
-                "--checkpoint-every", "30", "--recover", "--no-fsync",
+                "--checkpoint-every", "30", "--recover", "--fsync", "off",
             ]
         )
         out = capsys.readouterr().out
@@ -619,13 +619,13 @@ class TestDurableCli:
         other = generate_trace(
             TraceConfig(events=30, processors=M, heavy_fraction=0.3), 9
         )
-        with Journal(journal, fsync=False) as j:
+        with Journal(journal, fsync="off") as j:
             durable = DurableController(AdmissionController(M), j)
             replay(durable, other)
         exit_code = admit_main(
             [
                 "replay", str(GOLDEN_TRACE), "-m", str(M),
-                "--journal", str(journal), "--recover", "--no-fsync",
+                "--journal", str(journal), "--recover", "--fsync", "off",
             ]
         )
         assert exit_code == 2

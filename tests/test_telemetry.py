@@ -647,7 +647,7 @@ class TestAdmitTelemetry:
         rc = admit_main(
             [
                 "replay", str(small_trace), "-m", "8",
-                "--journal", str(journal), "--no-fsync",
+                "--journal", str(journal), "--fsync", "off",
                 "--checkpoint", str(checkpoint), "--checkpoint-every", "10",
                 "--metrics", str(metrics_out),
                 "--prom", str(prom_out),
@@ -715,7 +715,7 @@ class TestAdmitTelemetry:
         assert admit_main(
             [
                 "replay", str(small_trace), "-m", "8",
-                "--journal", str(journal), "--no-fsync",
+                "--journal", str(journal), "--fsync", "off",
             ]
         ) == 0
         metrics_out = tmp_path / "recovery.json"
