@@ -1,0 +1,78 @@
+"""Workload-zoo bench: per-family generation throughput + EXP-W shape checks.
+
+Two things are measured and tracked PR-to-PR in ``BENCH_workloads.json``:
+
+* **generation throughput** -- DAGs per second for every registered family
+  (including the DAX-imported fixture, whose "generation" is a lookup), the
+  cost that bounds how many samples the sweeps can afford;
+* **DAX round-trip throughput** -- ``dump_dax`` + ``load_dax`` cycles per
+  second on a mid-sized Pegasus instance.
+
+The EXP-W quick run rides along with structural assertions: every family
+produces a row, sizes honour the sweep's common window, and the acceptance
+columns are valid ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.exp_zoo import zoo_families
+from repro.experiments.runner import run_experiment
+from repro.generation.dax import dump_dax, load_dax
+from repro.generation.families import build_family_dag
+
+ARTIFACT = Path(__file__).parent / "BENCH_workloads.json"
+
+_ROUNDS = 60
+
+
+def test_bench_zoo_generation_and_sweep(show):
+    throughput: dict[str, float] = {}
+    for family in zoo_families():
+        started = time.perf_counter()
+        for seed in range(_ROUNDS):
+            dag = build_family_dag(family, 8, 20, rng=seed)
+            assert len(dag) >= 1
+        elapsed = time.perf_counter() - started
+        throughput[family] = _ROUNDS / elapsed
+
+    reference = build_family_dag("montage", 20, 20, rng=0)
+    started = time.perf_counter()
+    for _ in range(_ROUNDS):
+        assert load_dax(dump_dax(reference)) == reference
+    dax_round_trips_per_s = _ROUNDS / (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    tables = run_experiment("EXP-W", seed=0, quick=True)
+    exp_w_seconds = time.perf_counter() - started
+
+    structure, admission = tables
+    families = set(zoo_families())
+    assert set(structure.column("family")) == families
+    assert set(admission.column("family")) == families
+    for label in ("accept U/m=0.4", "accept U/m=0.6"):
+        assert all(0.0 <= ratio <= 1.0 for ratio in structure.column(label))
+    # Every family's mean size sits in the sweep's common [8, 20] window
+    # (the fixed-size DAX import included, by construction of the fixture).
+    assert all(8 <= mean <= 20 for mean in structure.column("mean |V|"))
+    assert all(mu >= 1 for mu in structure.column("mean mu"))
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "families": len(families),
+                "generation_dags_per_s": {
+                    name: round(rate, 1)
+                    for name, rate in sorted(throughput.items())
+                },
+                "dax_round_trips_per_s": round(dax_round_trips_per_s, 1),
+                "exp_w_quick_seconds": round(exp_w_seconds, 3),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    show(tables)

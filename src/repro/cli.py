@@ -26,6 +26,7 @@ from repro.analysis.sensitivity import bottleneck_task, minimum_platform
 from repro.baselines.global_edf import gedf_any_test
 from repro.baselines.partitioned_sequential import partitioned_sequential
 from repro.core.fedcons import fedcons
+from repro.generation.families import family_names, register_dax_family
 from repro.model.serialization import load_system
 from repro.obs import metrics, tracing
 from repro.obs.cli import add_observability_arguments, configure_from_args
@@ -57,8 +58,14 @@ def generate_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--dag-kind",
-        choices=["erdos_renyi", "layered", "nested_fork_join", "series_parallel"],
+        choices=list(family_names()),
         default="erdos_renyi",
+        help="DAG structure family (any workload-zoo name)",
+    )
+    parser.add_argument(
+        "--dax", type=Path, default=None, metavar="FILE.dax",
+        help="import a Pegasus DAX workflow and use it as every task's "
+        "structure (overrides --dag-kind)",
     )
     parser.add_argument("--edge-probability", type=float, default=0.2)
     parser.add_argument("--min-vertices", type=int, default=10)
@@ -82,11 +89,14 @@ def generate_main(argv: list[str] | None = None) -> int:
     from repro.model.serialization import save_system
 
     try:
+        dag_kind = args.dag_kind
+        if args.dax is not None:
+            dag_kind = register_dax_family(args.dax)
         config = SystemConfig(
             tasks=args.tasks,
             processors=args.processors,
             normalized_utilization=args.utilization,
-            dag_kind=args.dag_kind,
+            dag_kind=dag_kind,
             edge_probability=args.edge_probability,
             min_vertices=args.min_vertices,
             max_vertices=args.max_vertices,
@@ -111,6 +121,34 @@ def _load(path: str):
         raise SystemExit(2) from exc
 
 
+def _dax_system(
+    path: str,
+    period: float | None,
+    deadline: float | None,
+    default_runtime: float | None,
+):
+    """Wrap a DAX workflow file as a single-task system (analyze --dax)."""
+    from repro.generation.dax import load_dax
+    from repro.model.task import SporadicDAGTask
+    from repro.model.taskset import TaskSystem
+
+    if period is None:
+        print("error: --dax requires --period", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        dag = load_dax(path, default_runtime=default_runtime)
+        task = SporadicDAGTask(
+            dag=dag,
+            deadline=deadline if deadline is not None else period,
+            period=period,
+            name=Path(path).stem,
+        )
+        return TaskSystem([task])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
 def _write_artifact(write, path: Path) -> None:
     """Run *write(path)*, turning OSError into a clean CLI failure."""
     try:
@@ -126,8 +164,30 @@ def analyze_main(argv: list[str] | None = None) -> int:
         prog="fedcons-analyze",
         description="FEDCONS schedulability analysis of a task-system JSON file.",
     )
-    parser.add_argument("system", help="task-system JSON (see repro.model.save_system)")
+    parser.add_argument(
+        "system",
+        help="task-system JSON (see repro.model.save_system), or a Pegasus "
+        "DAX workflow file with --dax",
+    )
     parser.add_argument("-m", "--processors", type=int, required=True)
+    parser.add_argument(
+        "--dax", action="store_true",
+        help="treat SYSTEM as a Pegasus DAX workflow: import it as a single "
+        "sporadic DAG task (requires --period)",
+    )
+    parser.add_argument(
+        "--period", type=float, default=None,
+        help="period of the imported DAX task (with --dax)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="relative deadline of the imported DAX task (with --dax; "
+        "default: the period)",
+    )
+    parser.add_argument(
+        "--default-runtime", type=float, default=None,
+        help="WCET for DAX jobs that carry no runtime (with --dax)",
+    )
     parser.add_argument(
         "--baselines", action="store_true",
         help="also report the global-EDF and fully-partitioned verdicts",
@@ -159,7 +219,12 @@ def analyze_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     configure_from_args(args)
 
-    system = _load(args.system)
+    if args.dax:
+        system = _dax_system(
+            args.system, args.period, args.deadline, args.default_runtime
+        )
+    else:
+        system = _load(args.system)
     print(system.describe())
     print()
     profiler = None

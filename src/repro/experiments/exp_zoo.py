@@ -1,0 +1,182 @@
+"""EXP-W: the workload zoo -- per-family structure, acceptance, and admission.
+
+The paper is explicit that schedulability results "are necessarily deeply
+influenced by the manner in which we generate our task systems".  EXP-D
+varies the knobs of the four random generators; this experiment walks the
+whole :mod:`~repro.generation.families` registry instead -- random kinds,
+elementary shapes, the five Pegasus scientific workflows, and a committed
+DAX-imported instance -- and measures, per family:
+
+* **structure** -- mean vertex count and the volume/span parallelism ratio,
+  the quantities that drive every bound in the analysis;
+* **mu-demand** -- the unbounded MINPROCS cluster size of a deliberately
+  heavy lone task (utilization 2, deadline ratio drawn from [0.1, 0.4]),
+  i.e. how many dedicated processors the family's shape extracts;
+* **FEDCONS acceptance** at normalized utilizations 0.4 and 0.6 on the
+  EXP-A platform (n=10 tasks, m=8); and
+* **online admission behaviour** -- an arrival/departure trace whose
+  arrivals all draw the family's shape, replayed through the incremental
+  controller with periodic batch-oracle cross-checks.
+
+Every number is a pure function of ``(samples, seed, quick)``: sweeps seed
+through ``exp_id="EXP-W:<family>"`` namespaces and the mu draws through
+:func:`~repro.parallel.seeds.sample_rng`, so the quick-mode tables are
+committed as golden CSVs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.minprocs import minprocs_unbounded
+from repro.experiments.harness import acceptance_sweep
+from repro.experiments.reporting import Table
+from repro.generation.dax import dax_fixture_path
+from repro.generation.families import get_family, register_dax_family
+from repro.generation.tasksets import SystemConfig, generate_task
+from repro.generation.traces import TraceConfig, generate_trace
+from repro.online.controller import AdmissionController
+from repro.online.trace import replay
+from repro.parallel.seeds import sample_rng
+
+__all__ = ["run", "zoo_families"]
+
+#: The sweep platform (EXP-A's, with the zoo's common size window so every
+#: family -- including coarse-grained ones like ligo -- has instances).
+_BASE = SystemConfig(min_vertices=8, max_vertices=20)
+
+#: Normalized utilizations at which FEDCONS acceptance is reported.
+_UTILIZATIONS = (0.4, 0.6)
+
+
+def zoo_families() -> tuple[str, ...]:
+    """Every family EXP-W sweeps, DAX fixture included (registering it).
+
+    The committed ``montage.dax`` golden fixture is imported on first call,
+    so the sweep always covers at least one measured-artifact workflow
+    alongside the parameterized generators.
+    """
+    dax_name = register_dax_family(dax_fixture_path("montage"))
+    names: list[str] = []
+    for group in ("random", "elementary", "pegasus"):
+        from repro.generation.families import family_names
+
+        names.extend(family_names(group))
+    names.append(dax_name)
+    return tuple(names)
+
+
+def _structure_table(samples: int, mu_samples: int, seed: int) -> Table:
+    table = Table(
+        title="EXP-W: workload-zoo structure, mu-demand, FEDCONS acceptance "
+        "(n=10, m=8)",
+        columns=[
+            "family",
+            "group",
+            "mean |V|",
+            "vol/len",
+            "mean mu",
+            "max mu",
+            "accept U/m=0.4",
+            "accept U/m=0.6",
+        ],
+    )
+    for family_name in zoo_families():
+        family = get_family(family_name)
+        config = replace(_BASE, dag_kind=family_name)
+        heavy = replace(config, deadline_ratio=(0.1, 0.4))
+        vertices = parallelism = 0.0
+        mu_total = mu_max = 0
+        for k in range(mu_samples):
+            rng = sample_rng(seed, f"EXP-W:mu:{family_name}", 0, k)
+            task = generate_task(2.0, heavy, rng)
+            vertices += len(task.dag)
+            parallelism += task.dag.volume / task.dag.longest_chain_length
+            result = minprocs_unbounded(task)
+            assert result is not None  # constrained deadlines keep D >= len
+            mu_total += result.processors
+            mu_max = max(mu_max, result.processors)
+        points = acceptance_sweep(
+            config,
+            _UTILIZATIONS,
+            ["FEDCONS"],
+            samples,
+            seed,
+            exp_id=f"EXP-W:{family_name}",
+        )
+        table.add_row(
+            family_name,
+            family.group,
+            vertices / mu_samples,
+            parallelism / mu_samples,
+            mu_total / mu_samples,
+            mu_max,
+            points[0].acceptance["FEDCONS"],
+            points[1].acceptance["FEDCONS"],
+        )
+    table.notes.append(
+        "mu columns: unbounded MINPROCS cluster size of a heavy lone task "
+        "(target utilization 2.0, deadline ratio in [0.1, 0.4]) -- the "
+        "dedicated-processor demand the family's shape generates.  "
+        "Acceptance columns: FEDCONS on 10-task systems at m=8 with the "
+        "family as every task's structure."
+    )
+    return table
+
+
+def _admission_table(events: int, seed: int, oracle_every: int) -> Table:
+    table = Table(
+        title=f"EXP-W: online admission by arrival family "
+        f"(m=8, {events} events)",
+        columns=[
+            "family",
+            "accepted",
+            "rejected",
+            "departed",
+            "peak admitted",
+            "migrations",
+            "anomalies",
+            "oracle checks",
+        ],
+    )
+    for family_name in zoo_families():
+        config = TraceConfig(
+            events=events,
+            processors=8,
+            shape=replace(
+                _BASE, dag_kind=family_name, deadline_ratio=(0.35, 1.0)
+            ),
+        )
+        trace = generate_trace(config, seed)
+        controller = AdmissionController(config.processors)
+        report = replay(controller, trace, oracle_every=oracle_every)
+        assert controller.verify(exact=True)
+        table.add_row(
+            family_name,
+            report.accepted,
+            report.rejected,
+            report.departed,
+            report.peak_admitted,
+            report.migrations,
+            report.anomalies,
+            report.oracle_checks,
+        )
+    table.notes.append(
+        "every arrival of a trace draws its DAG from the named family; "
+        "checkpoints re-ran the batch FEDCONS analysis of the admitted set "
+        "and matched the incremental state exactly."
+    )
+    return table
+
+
+def run(samples: int = 20, seed: int = 0, quick: bool = False) -> list[Table]:
+    """Per-family structure/acceptance sweep + per-family admission replay."""
+    if quick:
+        samples = min(samples, 10)
+    mu_samples = 5 if quick else 15
+    events = 60 if quick else 150
+    oracle_every = 20 if quick else 10
+    return [
+        _structure_table(samples, mu_samples, seed),
+        _admission_table(events, seed, oracle_every),
+    ]

@@ -47,6 +47,7 @@ from repro.experiments import (
     exp_simulation,
     exp_speedup,
     exp_workload,
+    exp_zoo,
 )
 from repro.experiments.reporting import Table
 from repro.obs import get_logger, metrics
@@ -89,6 +90,7 @@ EXPERIMENTS: dict[str, tuple[str, Runner]] = {
     "EXP-R": ("crash-injection soak + recovery throughput", exp_recovery.run),
     "EXP-S": ("admission-service soak: throughput + failover", exp_service.run),
     "EXP-T": ("adversarial tightness frontier (Chen gadget)", exp_adversarial.run),
+    "EXP-W": ("workload zoo: per-family acceptance + admission", exp_zoo.run),
 }
 
 

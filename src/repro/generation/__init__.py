@@ -1,5 +1,7 @@
-"""Workload generation: DAG structures, parameters, full task systems, and
-the adversarial Chen lower-bound gadget family."""
+"""Workload generation: DAG structures, parameters, full task systems, the
+adversarial Chen lower-bound gadget family, and the workload zoo (Pegasus
+scientific workflows, elementary shapes, DAX import) behind one family
+registry."""
 
 from repro.generation.adversarial import (
     HARDNESS_GRADES,
@@ -11,7 +13,32 @@ from repro.generation.dag_generators import (
     erdos_renyi_dag,
     layered_dag,
     nested_fork_join,
+    nested_fork_join_sized,
+    random_composition,
     series_parallel,
+)
+from repro.generation.dax import (
+    dax_fixture_path,
+    dump_dax,
+    load_dax,
+    write_dax,
+)
+from repro.generation.elementary import (
+    bigmerge,
+    conflux,
+    fork_join,
+    grid,
+    map_reduce,
+    splitters,
+    stairs,
+)
+from repro.generation.families import (
+    Family,
+    build_family_dag,
+    family_names,
+    get_family,
+    register_dax_family,
+    register_family,
 )
 from repro.generation.parameters import (
     constrained_deadline,
@@ -21,6 +48,13 @@ from repro.generation.parameters import (
     randfixedsum,
     uniform_wcet_sampler,
     uunifast,
+)
+from repro.generation.pegasus import (
+    cybershake,
+    epigenomics,
+    ligo,
+    montage,
+    sipht,
 )
 from repro.generation.tasksets import (
     SystemConfig,
@@ -38,7 +72,31 @@ __all__ = [
     "erdos_renyi_dag",
     "layered_dag",
     "nested_fork_join",
+    "nested_fork_join_sized",
+    "random_composition",
     "series_parallel",
+    "dax_fixture_path",
+    "dump_dax",
+    "load_dax",
+    "write_dax",
+    "bigmerge",
+    "conflux",
+    "fork_join",
+    "grid",
+    "map_reduce",
+    "splitters",
+    "stairs",
+    "Family",
+    "build_family_dag",
+    "family_names",
+    "get_family",
+    "register_dax_family",
+    "register_family",
+    "cybershake",
+    "epigenomics",
+    "ligo",
+    "montage",
+    "sipht",
     "uunifast",
     "randfixedsum",
     "loguniform",

@@ -26,7 +26,7 @@ sampler, and return a validated :class:`~repro.model.dag.DAG`.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -38,6 +38,8 @@ __all__ = [
     "erdos_renyi_dag",
     "layered_dag",
     "nested_fork_join",
+    "nested_fork_join_sized",
+    "random_composition",
     "series_parallel",
 ]
 
@@ -46,6 +48,45 @@ WcetSampler = Callable[[np.random.Generator], float]
 
 def _default_wcet(rng: np.random.Generator) -> float:
     return float(rng.integers(1, 101))
+
+
+def random_composition(
+    total: int,
+    parts: int,
+    cap: int | None,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Split *total* into *parts* positive integers, each at most *cap*.
+
+    Every part starts at 1 and the remaining units are scattered uniformly
+    over the parts that still have headroom, so the composition is random
+    but always exact.  Used to hit requested vertex counts with layered /
+    grouped generators.
+
+    Raises
+    ------
+    GenerationError
+        If the composition is impossible (``total < parts`` or
+        ``total > parts * cap``).
+    """
+    if parts < 1:
+        raise GenerationError(f"parts must be >= 1, got {parts}")
+    if total < parts:
+        raise GenerationError(
+            f"cannot split {total} vertices into {parts} non-empty parts"
+        )
+    if cap is not None and total > parts * cap:
+        raise GenerationError(
+            f"cannot split {total} vertices into {parts} parts of at most "
+            f"{cap}"
+        )
+    sizes = [1] * parts
+    for _ in range(total - parts):
+        eligible = [
+            i for i in range(parts) if cap is None or sizes[i] < cap
+        ]
+        sizes[eligible[int(rng.integers(0, len(eligible)))]] += 1
+    return sizes
 
 
 def erdos_renyi_dag(
@@ -83,11 +124,17 @@ def layered_dag(
     edge_probability: float,
     rng: np.random.Generator,
     wcet_sampler: WcetSampler = _default_wcet,
+    layer_sizes: Sequence[int] | None = None,
 ) -> DAG:
     """Layered DAG: *layers* layers of 1..*width* vertices, forward edges
     between consecutive layers with probability *edge_probability*; every
     non-first-layer vertex is guaranteed at least one predecessor so the
     layer structure is real.
+
+    With *layer_sizes* the per-layer vertex counts are taken verbatim
+    (``layers``/``width`` then only validate them), which is how
+    :func:`repro.generation.tasksets.generate_dag` pins the total vertex
+    count inside the configured ``min_vertices``/``max_vertices`` bounds.
     """
     if layers < 1 or width < 1:
         raise GenerationError("layers and width must be >= 1")
@@ -95,11 +142,25 @@ def layered_dag(
         raise GenerationError(
             f"edge probability must be in [0, 1], got {edge_probability}"
         )
+    if layer_sizes is not None:
+        if len(layer_sizes) != layers:
+            raise GenerationError(
+                f"layer_sizes has {len(layer_sizes)} entries for {layers} "
+                "layers"
+            )
+        if any(not 1 <= s <= width for s in layer_sizes):
+            raise GenerationError(
+                f"every layer size must lie in [1, {width}], got "
+                f"{list(layer_sizes)}"
+            )
     wcets: dict[int, float] = {}
     layer_members: list[list[int]] = []
     next_id = 0
-    for _ in range(layers):
-        size = int(rng.integers(1, width + 1))
+    for index in range(layers):
+        if layer_sizes is None:
+            size = int(rng.integers(1, width + 1))
+        else:
+            size = int(layer_sizes[index])
         members = list(range(next_id, next_id + size))
         next_id += size
         for v in members:
@@ -158,18 +219,89 @@ def nested_fork_join(
     return DAG(wcets, edges)
 
 
+def nested_fork_join_sized(
+    vertices: int,
+    max_depth: int,
+    max_branches: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+    branch_probability: float = 0.8,
+) -> DAG:
+    """Nested fork-join DAG with *exactly* the requested vertex count.
+
+    Unlike :func:`nested_fork_join` (whose size is an emergent property of
+    the recursion), this variant hands each segment an exact vertex budget:
+    a segment with budget >= 4 may fork into 2..*max_branches* sub-segments
+    (splitting the remaining budget among them); smaller budgets -- or
+    recursion past *max_depth*, or a ``1 - branch_probability`` coin --
+    become sequential chains.  The result is always a single-source,
+    single-sink member of the nested-fork-join class, which is what lets
+    :func:`repro.generation.tasksets.generate_dag` honour
+    ``min_vertices``/``max_vertices`` for this family.
+    """
+    if vertices < 1:
+        raise GenerationError(f"need at least one vertex, got {vertices}")
+    if max_depth < 0 or max_branches < 2:
+        raise GenerationError("max_depth must be >= 0 and max_branches >= 2")
+    wcets: dict[int, float] = {}
+    edges: list[tuple[int, int]] = []
+    counter = [0]
+
+    def new_job() -> int:
+        vid = counter[0]
+        counter[0] += 1
+        wcets[vid] = wcet_sampler(rng)
+        return vid
+
+    def chain_segment(budget: int) -> tuple[int, int]:
+        entry = new_job()
+        tail = entry
+        for _ in range(budget - 1):
+            nxt = new_job()
+            edges.append((tail, nxt))
+            tail = nxt
+        return entry, tail
+
+    def build(level: int, budget: int) -> tuple[int, int]:
+        """Build one segment of exactly *budget* jobs; returns (entry, exit)."""
+        if (
+            budget < 4
+            or level >= max_depth
+            or rng.random() > branch_probability
+        ):
+            return chain_segment(budget)
+        # fork + join take two jobs; split the rest over >= 2 branches.
+        branches = int(rng.integers(2, min(max_branches, budget - 2) + 1))
+        fork = new_job()
+        join = new_job()
+        for part in random_composition(budget - 2, branches, None, rng):
+            entry, exit_ = build(level + 1, part)
+            edges.append((fork, entry))
+            edges.append((exit_, join))
+        return fork, join
+
+    build(0, vertices)
+    return DAG(wcets, edges)
+
+
 def series_parallel(
     target_vertices: int,
     rng: np.random.Generator,
     wcet_sampler: WcetSampler = _default_wcet,
     parallel_probability: float = 0.5,
+    exact: bool = False,
 ) -> DAG:
     """Random series-parallel DAG with roughly *target_vertices* vertices.
 
     Starts from a single job and repeatedly expands a random job into either
-    a series pair or a parallel fork-join diamond until the target size is
-    reached (the final size may overshoot by up to three vertices, the size
-    of one diamond expansion).
+    a series pair (one extra vertex) or a parallel fork-join diamond (three
+    extra vertices: the join plus two branches) until the target size is
+    reached.  The final size may overshoot by up to *two* vertices: the last
+    expansion fires while the count is still below the target, so the worst
+    case is a diamond landing on ``target - 1 + 3``.  With ``exact=True``
+    diamond expansions that would cross the target are demoted to series
+    expansions, so the size equals *target_vertices* exactly (same random
+    stream; only the expansion choice is overridden).
     """
     if target_vertices < 1:
         raise GenerationError(f"need at least one vertex, got {target_vertices}")
@@ -213,7 +345,10 @@ def series_parallel(
 
     while counter[0] < target_vertices:
         v = int(rng.integers(0, counter[0]))
-        if rng.random() < parallel_probability:
+        parallel = rng.random() < parallel_probability
+        if exact and counter[0] + 3 > target_vertices:
+            parallel = False
+        if parallel:
             expand_parallel(v)
         else:
             expand_series(v)

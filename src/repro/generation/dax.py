@@ -1,0 +1,196 @@
+"""Pegasus DAX (XML workflow description) import and export.
+
+Real scientific workflows circulate as DAX files -- the abstract-DAG XML
+dialect of the Pegasus workflow-management system: ``<job>`` elements with
+an ``id`` and a ``runtime``, and ``<child ref=..><parent ref=../></child>``
+elements naming the precedence edges.  :func:`load_dax` turns such a file
+into a validated :class:`~repro.model.dag.DAG` (job ids become vertex ids,
+runtimes become WCETs) using only the stdlib ``xml.etree``, so measured
+workflow instances can be fed straight into the FEDCONS analysis and the
+admission pipeline; :func:`dump_dax` writes the same dialect back out,
+which is how the committed golden fixtures under ``repro/generation/data``
+were produced and what makes round-tripping testable.
+
+Namespaces are ignored (files in the wild use several schema versions), and
+a job's runtime is taken from its ``runtime`` attribute or, failing that,
+from a nested ``<profile key="runtime">`` element -- the two conventions of
+the synthetic-workflow generators.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from xml.sax.saxutils import quoteattr
+
+from repro.errors import GenerationError
+from repro.model.dag import DAG
+
+__all__ = ["dax_fixture_path", "dump_dax", "load_dax", "write_dax"]
+
+#: Directory of the committed golden DAX fixtures (one per Pegasus family).
+_DATA_DIR = Path(__file__).parent / "data"
+
+
+def _local_name(tag: object) -> str:
+    """Tag name with any ``{namespace}`` prefix stripped."""
+    text = tag if isinstance(tag, str) else ""
+    return text.rpartition("}")[2]
+
+
+def _job_runtime(element: ET.Element, job_id: str) -> str | None:
+    """The runtime attribute or nested runtime profile of a job, if any."""
+    runtime = element.get("runtime")
+    if runtime is not None:
+        return runtime
+    for child in element:
+        if (
+            _local_name(child.tag) == "profile"
+            and child.get("key") == "runtime"
+        ):
+            return (child.text or "").strip()
+    return None
+
+
+def load_dax(
+    source: str | Path,
+    default_runtime: float | None = None,
+) -> DAG:
+    """Parse a Pegasus DAX file into a validated :class:`DAG`.
+
+    Parameters
+    ----------
+    source:
+        Path to the DAX file, or the XML document itself as a string
+        (anything starting with ``<`` is treated as inline XML).
+    default_runtime:
+        WCET for jobs that carry no runtime; without it such jobs raise.
+
+    Raises
+    ------
+    GenerationError
+        On malformed XML, duplicate or missing job ids, dangling
+        parent/child references, or non-positive/unparseable runtimes.
+    """
+    text = str(source)
+    if not text.lstrip().startswith("<"):
+        try:
+            text = Path(source).read_text()
+        except OSError as exc:
+            raise GenerationError(f"cannot read DAX file {source}: {exc}") from exc
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise GenerationError(f"malformed DAX XML: {exc}") from exc
+
+    wcets: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+    for element in root.iter():
+        name = _local_name(element.tag)
+        if name == "job":
+            job_id = element.get("id")
+            if not job_id:
+                raise GenerationError("DAX job without an id attribute")
+            if job_id in wcets:
+                raise GenerationError(f"duplicate DAX job id {job_id!r}")
+            runtime = _job_runtime(element, job_id)
+            if runtime is None:
+                if default_runtime is None:
+                    raise GenerationError(
+                        f"DAX job {job_id!r} has no runtime and no "
+                        "default_runtime was given"
+                    )
+                value = float(default_runtime)
+            else:
+                try:
+                    value = float(runtime)
+                except ValueError as exc:
+                    raise GenerationError(
+                        f"DAX job {job_id!r} has unparseable runtime "
+                        f"{runtime!r}"
+                    ) from exc
+            if value <= 0:
+                raise GenerationError(
+                    f"DAX job {job_id!r} has non-positive runtime {value!r}"
+                )
+            wcets[job_id] = value
+        elif name == "child":
+            child_ref = element.get("ref")
+            if not child_ref:
+                raise GenerationError("DAX child element without a ref")
+            for sub in element:
+                if _local_name(sub.tag) != "parent":
+                    continue
+                parent_ref = sub.get("ref")
+                if not parent_ref:
+                    raise GenerationError(
+                        f"DAX parent of {child_ref!r} without a ref"
+                    )
+                edges.append((parent_ref, child_ref))
+    if not wcets:
+        raise GenerationError("DAX document contains no jobs")
+    unknown = sorted(
+        {v for edge in edges for v in edge if v not in wcets}
+    )
+    if unknown:
+        raise GenerationError(
+            f"DAX edges reference unknown job ids: {', '.join(unknown)}"
+        )
+    return DAG(wcets, edges)
+
+
+def dump_dax(dag: DAG, name: str = "workflow") -> str:
+    """Serialize *dag* as a Pegasus DAX document (deterministic order).
+
+    Vertex ids are written as job ids via ``str``, WCETs as ``runtime``
+    attributes via ``repr`` (so floats survive the round trip exactly);
+    jobs appear in topological order and each vertex's parents in the DAG's
+    stored edge order, making the output a pure function of the DAG.
+    """
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<adag xmlns="http://pegasus.isi.edu/schema/DAX" '
+        f"name={quoteattr(name)} jobCount=\"{len(dag)}\">",
+    ]
+    for vertex in dag.vertices:
+        vid = quoteattr(str(vertex))
+        lines.append(
+            f"  <job id={vid} name={vid} runtime="
+            f"{quoteattr(repr(dag.wcet(vertex)))}/>"
+        )
+    for vertex in dag.vertices:
+        parents = dag.predecessors(vertex)
+        if not parents:
+            continue
+        lines.append(f"  <child ref={quoteattr(str(vertex))}>")
+        lines.extend(
+            f"    <parent ref={quoteattr(str(parent))}/>"
+            for parent in parents
+        )
+        lines.append("  </child>")
+    lines.append("</adag>")
+    return "\n".join(lines) + "\n"
+
+
+def write_dax(dag: DAG, path: str | Path, name: str = "workflow") -> None:
+    """Write :func:`dump_dax` output to *path* atomically."""
+    from repro.io import atomic_write_text
+
+    atomic_write_text(Path(path), dump_dax(dag, name=name))
+
+
+def dax_fixture_path(family: str) -> Path:
+    """Path of the committed golden DAX fixture for one Pegasus *family*.
+
+    Raises
+    ------
+    GenerationError
+        If no fixture with that name is committed.
+    """
+    path = _DATA_DIR / f"{family}.dax"
+    if not path.is_file():
+        known = sorted(p.stem for p in _DATA_DIR.glob("*.dax"))
+        raise GenerationError(
+            f"no committed DAX fixture {family!r}; known: {known}"
+        )
+    return path

@@ -1,0 +1,205 @@
+"""Elementary DAG shapes: the canonical small structures of the workload zoo.
+
+Scheduling results on random graphs hide *why* a policy wins or loses; the
+elementary families isolate one structural trait each (after estee's
+``schedsim.generators.elementary``, SNIPPETS.md snippet 1), so sweeping them
+exposes exactly which trait an analysis is sensitive to:
+
+:func:`fork_join`
+    one fork, ``branches`` parallel jobs, one join -- maximal middle-layer
+    parallelism, the canonical parallel-for;
+:func:`map_reduce`
+    a complete bipartite map -> reduce exchange -- all-to-all precedence,
+    the densest edge structure per vertex;
+:func:`grid`
+    a ``rows x cols`` lattice where job ``(i, j)`` precedes ``(i+1, j)`` and
+    ``(i, j+1)`` -- pipelined wavefront parallelism (stencils, dynamic
+    programming);
+:func:`stairs`
+    a fully sequential chain whose WCETs climb linearly -- zero parallelism
+    with a strongly skewed load (the "duration stairs");
+:func:`bigmerge`
+    ``inputs`` independent jobs all feeding one sink -- embarrassing
+    parallelism with a single synchronisation point;
+:func:`splitters`
+    a complete binary out-tree of the given depth -- parallelism that
+    *grows* over time;
+:func:`conflux`
+    a complete binary in-tree -- parallelism that *shrinks* over time (the
+    mirror image of :func:`splitters`).
+
+Every generator takes a ``numpy.random.Generator`` plus a WCET sampler,
+labels vertices with stable readable string ids (``"map03"``,
+``"grid_2_4"``), and returns a validated :class:`~repro.model.dag.DAG` --
+so the same ``(family, parameters, seed)`` triple always yields a
+byte-identical :meth:`~repro.model.dag.DAG.digest`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.generation.dag_generators import WcetSampler, _default_wcet
+from repro.model.dag import DAG
+
+__all__ = [
+    "bigmerge",
+    "conflux",
+    "fork_join",
+    "grid",
+    "map_reduce",
+    "splitters",
+    "stairs",
+]
+
+
+def fork_join(
+    branches: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Fork, *branches* parallel jobs, join: ``branches + 2`` vertices."""
+    if branches < 1:
+        raise GenerationError(f"branches must be >= 1, got {branches}")
+    wcets = {"fork": wcet_sampler(rng)}
+    edges = []
+    for i in range(branches):
+        name = f"branch{i:02d}"
+        wcets[name] = wcet_sampler(rng)
+        edges.append(("fork", name))
+    wcets["join"] = wcet_sampler(rng)
+    edges.extend((f"branch{i:02d}", "join") for i in range(branches))
+    return DAG(wcets, edges)
+
+
+def map_reduce(
+    mappers: int,
+    reducers: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Complete bipartite map -> reduce: ``mappers + reducers`` vertices."""
+    if mappers < 1 or reducers < 1:
+        raise GenerationError(
+            f"need mappers >= 1 and reducers >= 1, got ({mappers}, {reducers})"
+        )
+    wcets = {f"map{i:02d}": wcet_sampler(rng) for i in range(mappers)}
+    for j in range(reducers):
+        wcets[f"reduce{j:02d}"] = wcet_sampler(rng)
+    edges = [
+        (f"map{i:02d}", f"reduce{j:02d}")
+        for i in range(mappers)
+        for j in range(reducers)
+    ]
+    return DAG(wcets, edges)
+
+
+def grid(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """``rows x cols`` lattice: ``(i, j)`` precedes ``(i+1, j)``/``(i, j+1)``."""
+    if rows < 1 or cols < 1:
+        raise GenerationError(
+            f"need rows >= 1 and cols >= 1, got ({rows}, {cols})"
+        )
+    wcets = {
+        f"grid_{i}_{j}": wcet_sampler(rng)
+        for i in range(rows)
+        for j in range(cols)
+    }
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if i + 1 < rows:
+                edges.append((f"grid_{i}_{j}", f"grid_{i + 1}_{j}"))
+            if j + 1 < cols:
+                edges.append((f"grid_{i}_{j}", f"grid_{i}_{j + 1}"))
+    return DAG(wcets, edges)
+
+
+def stairs(
+    steps: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Sequential chain of *steps* jobs with linearly growing WCETs.
+
+    Job ``k`` draws from the sampler and scales by ``k + 1``, so the load is
+    strongly back-heavy while the structure is a pure critical path
+    (``vol == len``): the zero-parallelism extreme of the zoo.
+    """
+    if steps < 1:
+        raise GenerationError(f"steps must be >= 1, got {steps}")
+    wcets = {
+        f"step{k:03d}": (k + 1) * wcet_sampler(rng) for k in range(steps)
+    }
+    edges = [
+        (f"step{k:03d}", f"step{k + 1:03d}") for k in range(steps - 1)
+    ]
+    return DAG(wcets, edges)
+
+
+def bigmerge(
+    inputs: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """*inputs* independent jobs all merging into one sink: ``inputs + 1``."""
+    if inputs < 1:
+        raise GenerationError(f"inputs must be >= 1, got {inputs}")
+    wcets = {f"in{i:03d}": wcet_sampler(rng) for i in range(inputs)}
+    wcets["merge"] = wcet_sampler(rng)
+    edges = [(f"in{i:03d}", "merge") for i in range(inputs)]
+    return DAG(wcets, edges)
+
+
+def _binary_tree(
+    depth: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler,
+    prefix: str,
+    out_tree: bool,
+) -> DAG:
+    """Complete binary tree of *depth* levels below the root."""
+    if depth < 0:
+        raise GenerationError(f"depth must be >= 0, got {depth}")
+    wcets: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+    for level in range(depth + 1):
+        for k in range(2 ** level):
+            wcets[f"{prefix}_{level}_{k}"] = wcet_sampler(rng)
+    for level in range(depth):
+        for k in range(2 ** level):
+            parent = f"{prefix}_{level}_{k}"
+            for child in (2 * k, 2 * k + 1):
+                node = f"{prefix}_{level + 1}_{child}"
+                edges.append((parent, node) if out_tree else (node, parent))
+    return DAG(wcets, edges)
+
+
+def splitters(
+    depth: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Binary out-tree: one root fanning out to ``2**depth`` leaves.
+
+    ``2**(depth + 1) - 1`` vertices; parallelism doubles level by level.
+    """
+    return _binary_tree(depth, rng, wcet_sampler, "split", out_tree=True)
+
+
+def conflux(
+    depth: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Binary in-tree: ``2**depth`` sources merging down to one sink.
+
+    ``2**(depth + 1) - 1`` vertices; parallelism halves level by level.
+    """
+    return _binary_tree(depth, rng, wcet_sampler, "merge", out_tree=False)

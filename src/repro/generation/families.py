@@ -1,0 +1,351 @@
+"""The workload-zoo family registry: every DAG generator behind one name.
+
+The paper's caveat -- schedulability results "are necessarily deeply
+influenced by the manner in which we generate our task systems" -- makes
+DAG structure a first-class experiment axis.  This module is the single
+switchboard for that axis: every generator family (the four random kinds,
+the elementary shapes, the five Pegasus scientific workflows, and any
+imported DAX workflow) registers here under a stable name, and
+:class:`~repro.generation.tasksets.SystemConfig`, the trace generator, the
+EXP-W sweep and the CLIs all resolve families through it.
+
+A family's builder receives the requested vertex-count range ``[lo, hi]``
+and must return a DAG whose size lies inside it, drawing any free
+parameters from the supplied RNG -- or raise
+:class:`~repro.errors.GenerationError` when its structural granularity
+admits no size in the range (e.g. a square grid asked for 10..15 vertices).
+Imported DAX families are the one exception: their graph is a fixed,
+measured artifact, so they ignore the range (``fixed_size`` is set).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.generation import elementary, pegasus
+from repro.generation.dag_generators import (
+    WcetSampler,
+    _default_wcet,
+    erdos_renyi_dag,
+    nested_fork_join_sized,
+    random_composition,
+    series_parallel,
+)
+from repro.generation.dax import load_dax
+from repro.model.dag import DAG
+
+__all__ = [
+    "Family",
+    "build_family_dag",
+    "family_names",
+    "get_family",
+    "register_dax_family",
+    "register_family",
+]
+
+#: A builder maps (min_vertices, max_vertices, rng, wcet_sampler) to a DAG.
+Builder = Callable[[int, int, np.random.Generator, WcetSampler], DAG]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One registered generator family of the workload zoo.
+
+    ``single_source``/``single_sink`` document the family's entry/exit
+    structure (asserted by the shared validity suite); ``fixed_size`` marks
+    families whose graph is a fixed artifact (DAX imports) and therefore
+    exempt from the size-range contract.
+    """
+
+    name: str
+    group: str  # "random" | "elementary" | "pegasus" | "dax"
+    description: str
+    builder: Builder = field(repr=False)
+    single_source: bool = False
+    single_sink: bool = False
+    fixed_size: bool = False
+
+
+_REGISTRY: dict[str, Family] = {}
+
+
+def register_family(family: Family) -> Family:
+    """Add *family* to the registry (its name must be unused)."""
+    if family.name in _REGISTRY:
+        raise GenerationError(f"family {family.name!r} is already registered")
+    _REGISTRY[family.name] = family
+    return family
+
+
+def get_family(name: str) -> Family:
+    """Look a family up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise GenerationError(
+            f"unknown DAG family {name!r}; known: {family_names()}"
+        ) from None
+
+
+def family_names(group: str | None = None) -> tuple[str, ...]:
+    """All registered family names (optionally one *group*), registry order."""
+    return tuple(
+        name
+        for name, fam in _REGISTRY.items()
+        if group is None or fam.group == group
+    )
+
+
+def build_family_dag(
+    name: str,
+    min_vertices: int,
+    max_vertices: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Build one DAG of the named family with size in the requested range."""
+    if max_vertices is None:
+        max_vertices = min_vertices
+    if not 1 <= min_vertices <= max_vertices:
+        raise GenerationError(
+            f"need 1 <= min_vertices <= max_vertices, got "
+            f"({min_vertices}, {max_vertices})"
+        )
+    if rng is None or isinstance(rng, int):
+        rng = np.random.default_rng(rng)
+    return get_family(name).builder(min_vertices, max_vertices, rng, wcet_sampler)
+
+
+def _sized(
+    lo: int,
+    hi: int,
+    rng: np.random.Generator,
+    size_of: Callable[[int], int],
+    p_min: int,
+    family: str,
+) -> int:
+    """A uniformly drawn parameter whose (monotone) size lands in [lo, hi]."""
+    feasible: list[int] = []
+    p = p_min
+    while size_of(p) <= hi:
+        if size_of(p) >= lo:
+            feasible.append(p)
+        p += 1
+    if not feasible:
+        raise GenerationError(
+            f"family {family!r} has no instance with {lo}..{hi} vertices; "
+            "widen min_vertices/max_vertices"
+        )
+    return feasible[int(rng.integers(0, len(feasible)))]
+
+
+def _draw(lo: int, hi: int, rng: np.random.Generator, floor: int, family: str) -> int:
+    """A uniform size draw from [max(lo, floor), hi]."""
+    if hi < floor:
+        raise GenerationError(
+            f"family {family!r} needs at least {floor} vertices; got "
+            f"max_vertices={hi}"
+        )
+    return int(rng.integers(max(lo, floor), hi + 1))
+
+
+# ---------------------------------------------------------------------------
+# random families (the knob-aware dispatch for these lives in generate_dag;
+# the registry builders expose them to the zoo API with the EXP-A defaults)
+# ---------------------------------------------------------------------------
+
+def _erdos_renyi(lo, hi, rng, sampler):
+    return erdos_renyi_dag(_draw(lo, hi, rng, 1, "erdos_renyi"), 0.2, rng, sampler)
+
+
+def _layered(lo, hi, rng, sampler):
+    from repro.generation.dag_generators import layered_dag
+
+    n = _draw(lo, hi, rng, 1, "layered")
+    layers = max(1, round(float(np.sqrt(n))))
+    sizes = random_composition(n, layers, None, rng)
+    return layered_dag(layers, max(sizes), 0.2, rng, sampler, layer_sizes=sizes)
+
+
+def _nested_fork_join(lo, hi, rng, sampler):
+    return nested_fork_join_sized(
+        _draw(lo, hi, rng, 1, "nested_fork_join"), 3, 4, rng, sampler
+    )
+
+
+def _series_parallel(lo, hi, rng, sampler):
+    return series_parallel(
+        _draw(lo, hi, rng, 1, "series_parallel"), rng, sampler, exact=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# elementary families
+# ---------------------------------------------------------------------------
+
+def _fork_join(lo, hi, rng, sampler):
+    return elementary.fork_join(_draw(lo, hi, rng, 3, "fork_join") - 2, rng, sampler)
+
+
+def _map_reduce(lo, hi, rng, sampler):
+    n = _draw(lo, hi, rng, 2, "map_reduce")
+    mappers = int(rng.integers(1, n))
+    return elementary.map_reduce(mappers, n - mappers, rng, sampler)
+
+
+def _grid(lo, hi, rng, sampler):
+    k = _sized(lo, hi, rng, lambda k: k * k, 1, "grid")
+    return elementary.grid(k, k, rng, sampler)
+
+
+def _stairs(lo, hi, rng, sampler):
+    return elementary.stairs(_draw(lo, hi, rng, 1, "stairs"), rng, sampler)
+
+
+def _bigmerge(lo, hi, rng, sampler):
+    return elementary.bigmerge(_draw(lo, hi, rng, 2, "bigmerge") - 1, rng, sampler)
+
+
+def _splitters(lo, hi, rng, sampler):
+    d = _sized(lo, hi, rng, lambda d: 2 ** (d + 1) - 1, 0, "splitters")
+    return elementary.splitters(d, rng, sampler)
+
+
+def _conflux(lo, hi, rng, sampler):
+    d = _sized(lo, hi, rng, lambda d: 2 ** (d + 1) - 1, 0, "conflux")
+    return elementary.conflux(d, rng, sampler)
+
+
+# ---------------------------------------------------------------------------
+# Pegasus scientific-workflow families
+# ---------------------------------------------------------------------------
+
+def _montage(lo, hi, rng, sampler):
+    return pegasus.montage(
+        _sized(lo, hi, rng, lambda w: 3 * w + 5, 2, "montage"), rng, sampler
+    )
+
+
+def _cybershake(lo, hi, rng, sampler):
+    return pegasus.cybershake(
+        _sized(lo, hi, rng, lambda s: 2 * s + 4, 2, "cybershake"), rng, sampler
+    )
+
+
+def _epigenomics(lo, hi, rng, sampler):
+    return pegasus.epigenomics(
+        _sized(lo, hi, rng, lambda c: 4 * c + 4, 2, "epigenomics"), rng, sampler
+    )
+
+
+def _ligo(lo, hi, rng, sampler):
+    return pegasus.ligo(
+        _sized(lo, hi, rng, lambda g: 14 * g, 1, "ligo"), rng, sampler
+    )
+
+
+def _sipht(lo, hi, rng, sampler):
+    return pegasus.sipht(
+        _sized(lo, hi, rng, lambda p: p + 10, 2, "sipht"), rng, sampler
+    )
+
+
+for _family in (
+    Family("erdos_renyi", "random", "ordered G(n, p), p=0.2", _erdos_renyi),
+    Family("layered", "random", "random layered DAG, forward edges", _layered),
+    Family(
+        "nested_fork_join", "random", "recursive fork-join nesting",
+        _nested_fork_join, single_source=True, single_sink=True,
+    ),
+    Family(
+        "series_parallel", "random", "random series/parallel composition",
+        _series_parallel, single_source=True, single_sink=True,
+    ),
+    Family(
+        "fork_join", "elementary", "fork, parallel branches, join",
+        _fork_join, single_source=True, single_sink=True,
+    ),
+    Family("map_reduce", "elementary", "complete bipartite map -> reduce", _map_reduce),
+    Family(
+        "grid", "elementary", "square lattice wavefront",
+        _grid, single_source=True, single_sink=True,
+    ),
+    Family(
+        "stairs", "elementary", "sequential chain, stair-step WCETs",
+        _stairs, single_source=True, single_sink=True,
+    ),
+    Family(
+        "bigmerge", "elementary", "independent jobs into one sink",
+        _bigmerge, single_sink=True,
+    ),
+    Family(
+        "splitters", "elementary", "complete binary out-tree",
+        _splitters, single_source=True,
+    ),
+    Family(
+        "conflux", "elementary", "complete binary in-tree",
+        _conflux, single_sink=True,
+    ),
+    Family(
+        "montage", "pegasus", "astronomy mosaic (Montage)",
+        _montage, single_sink=True,
+    ),
+    Family("cybershake", "pegasus", "seismic hazard (CyberShake)", _cybershake),
+    Family(
+        "epigenomics", "pegasus", "genome sequencing (Epigenomics)",
+        _epigenomics, single_source=True, single_sink=True,
+    ),
+    Family("ligo", "pegasus", "gravitational-wave inspiral (LIGO)", _ligo),
+    Family("sipht", "pegasus", "sRNA annotation (SIPHT)", _sipht),
+):
+    register_family(_family)
+del _family
+
+
+def register_dax_family(
+    source: str | Path,
+    name: str | None = None,
+    default_runtime: float | None = None,
+) -> str:
+    """Import a DAX workflow and register it as a (fixed-size) family.
+
+    The returned name (``"dax:<stem>"`` unless given) can then be used
+    anywhere a family name is accepted -- ``SystemConfig.dag_kind``, trace
+    shapes, the EXP-W sweep, or the CLIs.  Registering the same source
+    under its existing name again is a no-op (idempotent), as long as the
+    imported graph is unchanged; a conflicting graph under a taken name
+    raises.
+    """
+    dag = load_dax(source, default_runtime=default_runtime)
+    stem = Path(str(source)).stem if not str(source).lstrip().startswith("<") else "inline"
+    family_name = name if name is not None else f"dax:{stem}"
+    existing = _REGISTRY.get(family_name)
+    if existing is not None:
+        if existing.group == "dax" and existing.builder(1, 1, None, None) == dag:
+            return family_name
+        raise GenerationError(
+            f"family name {family_name!r} is already taken by a different "
+            "graph or family"
+        )
+
+    def _fixed(lo: int, hi: int, rng, sampler) -> DAG:
+        """Return the imported graph verbatim (size bounds do not apply)."""
+        return dag
+
+    register_family(
+        Family(
+            name=family_name,
+            group="dax",
+            description=f"imported DAX workflow ({stem}, |V|={len(dag)})",
+            builder=_fixed,
+            single_source=len(dag.sources) == 1,
+            single_sink=len(dag.sinks) == 1,
+            fixed_size=True,
+        )
+    )
+    return family_name

@@ -1,0 +1,270 @@
+"""Pegasus scientific-workflow families as parameterized DAG generators.
+
+The five named workflows of the Pegasus characterization literature
+(Bharathi et al., "Characterization of Scientific Workflows", WORKS 2008)
+are the de-facto structured benchmark set for DAG scheduling -- estee's
+``schedsim.generators.pegasus`` (SNIPPETS.md snippet 1) ships the same five.
+Each generator here reproduces the *shape* of one workflow -- which jobs
+exist, which fan in/out, where the synchronisation bottlenecks sit -- as a
+function of one width parameter, while WCETs are drawn from the supplied
+sampler and scaled by a per-role weight so the characteristic heterogeneity
+(e.g. mAdd dwarfing mProjectPP) survives:
+
+:func:`montage`
+    astronomy mosaics: wide projection layer, pairwise difference fits, a
+    background-model bottleneck, then a second wide correction layer
+    funnelling into the final image chain;
+:func:`cybershake`
+    seismic hazard: two extraction roots feeding every synthesis job, with
+    two independent gather sinks (zip and peak-value chains);
+:func:`epigenomics`
+    genome sequencing: one splitter fanning out to parallel four-stage
+    filter pipelines that merge back into a sequential tail;
+:func:`ligo`
+    gravitational-wave inspiral: independent analysis groups, each a
+    template-bank layer, a coincidence bottleneck, and a second bank layer
+    with its own coincidence test (the graph is intentionally a forest);
+:func:`sipht`
+    sRNA annotation: a wide Patser scan plus a handful of independent
+    search jobs all feeding one SRNA hub, whose products are re-blasted and
+    annotated.
+
+All generators take a ``numpy.random.Generator`` and a WCET sampler, use
+stable readable string vertex ids, and return validated
+:class:`~repro.model.dag.DAG` instances, so equal ``(family, parameters,
+seed)`` triples produce byte-identical :meth:`~repro.model.dag.DAG.digest`
+values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.generation.dag_generators import WcetSampler, _default_wcet
+from repro.model.dag import DAG
+
+__all__ = ["cybershake", "epigenomics", "ligo", "montage", "sipht"]
+
+
+class _Builder:
+    """Accumulates weighted jobs and edges, then freezes into a DAG.
+
+    The per-role *weights* multiply the sampler draw, preserving the
+    workflow's characteristic heterogeneity whatever base sampler is used.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        wcet_sampler: WcetSampler,
+        weights: dict[str, float],
+    ) -> None:
+        self._rng = rng
+        self._sampler = wcet_sampler
+        self._weights = weights
+        self.wcets: dict[str, float] = {}
+        self.edges: list[tuple[str, str]] = []
+
+    def job(self, role: str, index: int | None = None) -> str:
+        name = role if index is None else f"{role}{index:02d}"
+        self.wcets[name] = self._weights.get(role, 1.0) * self._sampler(
+            self._rng
+        )
+        return name
+
+    def edge(self, src: str, dst: str) -> None:
+        self.edges.append((src, dst))
+
+    def dag(self) -> DAG:
+        return DAG(self.wcets, self.edges)
+
+
+def montage(
+    projections: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Montage mosaic workflow: ``3 * projections + 5`` vertices.
+
+    ``projections`` mProjectPP jobs; an mDiffFit job per adjacent pair; one
+    mConcatFit -> mBgModel bottleneck; an mBackground job per projection
+    (reading both the model and its projection); then the sequential
+    mImgTbl -> mAdd -> mShrink -> mJPEG tail.  Single sink, wide entry.
+    """
+    if projections < 2:
+        raise GenerationError(
+            f"montage needs >= 2 projections, got {projections}"
+        )
+    b = _Builder(rng, wcet_sampler, {
+        "mProjectPP": 1.0, "mDiffFit": 0.5, "mConcatFit": 1.5,
+        "mBgModel": 2.0, "mBackground": 0.5, "mImgTbl": 0.5,
+        "mAdd": 3.0, "mShrink": 1.0, "mJPEG": 0.5,
+    })
+    projs = [b.job("mProjectPP", i) for i in range(projections)]
+    concat = b.job("mConcatFit")
+    for i in range(projections - 1):
+        diff = b.job("mDiffFit", i)
+        b.edge(projs[i], diff)
+        b.edge(projs[i + 1], diff)
+        b.edge(diff, concat)
+    model = b.job("mBgModel")
+    b.edge(concat, model)
+    table = b.job("mImgTbl")
+    for i, proj in enumerate(projs):
+        background = b.job("mBackground", i)
+        b.edge(model, background)
+        b.edge(proj, background)
+        b.edge(background, table)
+    add = b.job("mAdd")
+    shrink = b.job("mShrink")
+    jpeg = b.job("mJPEG")
+    b.edge(table, add)
+    b.edge(add, shrink)
+    b.edge(shrink, jpeg)
+    return b.dag()
+
+
+def cybershake(
+    synthesis: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """CyberShake hazard workflow: ``2 * synthesis + 4`` vertices.
+
+    Two ExtractSGT roots both feed every SeismogramSynthesis job; a ZipSeis
+    job gathers all seismograms while a PeakValCalcOkaya job per synthesis
+    feeds the second gather, ZipPSA.  Two sources, two sinks.
+    """
+    if synthesis < 2:
+        raise GenerationError(
+            f"cybershake needs >= 2 synthesis jobs, got {synthesis}"
+        )
+    b = _Builder(rng, wcet_sampler, {
+        "ExtractSGT": 2.0, "SeismogramSynthesis": 1.0,
+        "ZipSeis": 0.5, "PeakValCalcOkaya": 0.25, "ZipPSA": 0.5,
+    })
+    extracts = [b.job("ExtractSGT", i) for i in range(2)]
+    zip_seis = b.job("ZipSeis")
+    zip_psa = b.job("ZipPSA")
+    for i in range(synthesis):
+        synth = b.job("SeismogramSynthesis", i)
+        for extract in extracts:
+            b.edge(extract, synth)
+        b.edge(synth, zip_seis)
+        peak = b.job("PeakValCalcOkaya", i)
+        b.edge(synth, peak)
+        b.edge(peak, zip_psa)
+    return b.dag()
+
+
+def epigenomics(
+    lanes: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """Epigenomics sequencing workflow: ``4 * lanes + 4`` vertices.
+
+    One fastQSplit fans out to *lanes* parallel four-stage pipelines
+    (filterContams -> sol2sanger -> fastq2bfq -> map) that merge into the
+    sequential mapMerge -> maqIndex -> pileup tail.  Single source and sink.
+    """
+    if lanes < 2:
+        raise GenerationError(f"epigenomics needs >= 2 lanes, got {lanes}")
+    b = _Builder(rng, wcet_sampler, {
+        "fastQSplit": 1.0, "filterContams": 0.5, "sol2sanger": 0.5,
+        "fastq2bfq": 0.5, "map": 4.0, "mapMerge": 1.0,
+        "maqIndex": 0.5, "pileup": 1.0,
+    })
+    split = b.job("fastQSplit")
+    merge = b.job("mapMerge")
+    for i in range(lanes):
+        prev = split
+        for role in ("filterContams", "sol2sanger", "fastq2bfq", "map"):
+            stage = b.job(role, i)
+            b.edge(prev, stage)
+            prev = stage
+        b.edge(prev, merge)
+    index = b.job("maqIndex")
+    pileup = b.job("pileup")
+    b.edge(merge, index)
+    b.edge(index, pileup)
+    return b.dag()
+
+
+def ligo(
+    groups: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+    bank_size: int = 3,
+) -> DAG:
+    """LIGO inspiral workflow: ``groups * (4 * bank_size + 2)`` vertices.
+
+    Each group runs *bank_size* TmpltBank -> Inspiral pairs into a Thinca
+    coincidence test, whose output seeds *bank_size* TrigBank -> Inspiral2
+    pairs into a second Thinca.  Groups are mutually independent, so the
+    graph is a forest of ``groups`` identical components (``groups *
+    bank_size`` sources, ``groups`` sinks).
+    """
+    if groups < 1:
+        raise GenerationError(f"ligo needs >= 1 group, got {groups}")
+    if bank_size < 1:
+        raise GenerationError(f"ligo needs bank_size >= 1, got {bank_size}")
+    b = _Builder(rng, wcet_sampler, {
+        "TmpltBank": 1.0, "Inspiral": 4.0, "Thinca": 0.25,
+        "TrigBank": 0.5, "Inspiral2": 4.0, "Thinca2": 0.25,
+    })
+    for g in range(groups):
+        base = g * bank_size
+        thinca = b.job("Thinca", g)
+        for k in range(bank_size):
+            bank = b.job("TmpltBank", base + k)
+            inspiral = b.job("Inspiral", base + k)
+            b.edge(bank, inspiral)
+            b.edge(inspiral, thinca)
+        thinca2 = b.job("Thinca2", g)
+        for k in range(bank_size):
+            trig = b.job("TrigBank", base + k)
+            inspiral2 = b.job("Inspiral2", base + k)
+            b.edge(thinca, trig)
+            b.edge(trig, inspiral2)
+            b.edge(inspiral2, thinca2)
+    return b.dag()
+
+
+def sipht(
+    patser_jobs: int,
+    rng: np.random.Generator,
+    wcet_sampler: WcetSampler = _default_wcet,
+) -> DAG:
+    """SIPHT sRNA-annotation workflow: ``patser_jobs + 10`` vertices.
+
+    A wide Patser scan concatenated by PatserConcat, plus four independent
+    search jobs (Transterm, Findterm, RNAMotif, BlastCandidate), all feed
+    the central SRNA hub; SRNA's products run FFN_Parse and two further
+    Blast variants, gathered by the SRNA_Annotate sink.
+    """
+    if patser_jobs < 2:
+        raise GenerationError(
+            f"sipht needs >= 2 patser jobs, got {patser_jobs}"
+        )
+    b = _Builder(rng, wcet_sampler, {
+        "Patser": 0.25, "PatserConcat": 0.25, "Transterm": 2.0,
+        "Findterm": 3.0, "RNAMotif": 1.0, "BlastCandidate": 2.0,
+        "SRNA": 1.0, "FFN_Parse": 0.5, "BlastSynteny": 1.5,
+        "BlastParalog": 1.5, "SRNA_Annotate": 0.5,
+    })
+    concat = b.job("PatserConcat")
+    for i in range(patser_jobs):
+        patser = b.job("Patser", i)
+        b.edge(patser, concat)
+    srna = b.job("SRNA")
+    b.edge(concat, srna)
+    for role in ("Transterm", "Findterm", "RNAMotif", "BlastCandidate"):
+        b.edge(b.job(role), srna)
+    annotate = b.job("SRNA_Annotate")
+    for role in ("FFN_Parse", "BlastSynteny", "BlastParalog"):
+        product = b.job(role)
+        b.edge(srna, product)
+        b.edge(product, annotate)
+    return b.dag()

@@ -6,8 +6,10 @@ sporadic-DAG literature, since the paper does not specify its generator):
 1. draw per-task utilizations ``u_1..u_n`` summing to the target
    ``U_sum = normalized_utilization * m`` with UUniFast;
 2. generate each task's DAG structure (Erdos-Renyi / layered / nested
-   fork-join / series-parallel) and integer WCETs, giving ``vol_i`` and
-   ``len_i``;
+   fork-join / series-parallel, or any other family of the
+   :mod:`~repro.generation.families` workload zoo -- Pegasus scientific
+   workflows, elementary shapes, imported DAX graphs) and integer WCETs,
+   giving ``vol_i`` and ``len_i``;
 3. set ``T_i = vol_i / u_i``.  If the draw demands more parallelism than the
    DAG has (``u_i > vol_i / len_i``, i.e. ``T_i < len_i``), the DAG is
    resampled a few times, then ``u_i`` is clamped to the DAG's maximum
@@ -29,9 +31,11 @@ from repro.errors import GenerationError
 from repro.generation.dag_generators import (
     erdos_renyi_dag,
     layered_dag,
-    nested_fork_join,
+    nested_fork_join_sized,
+    random_composition,
     series_parallel,
 )
+from repro.generation.families import family_names, get_family
 from repro.generation.parameters import (
     constrained_deadline,
     randfixedsum,
@@ -44,7 +48,6 @@ from repro.model.taskset import TaskSystem
 
 __all__ = ["SystemConfig", "generate_dag", "generate_task", "generate_system"]
 
-_DAG_KINDS = ("erdos_renyi", "layered", "nested_fork_join", "series_parallel")
 _RESAMPLE_LIMIT = 20
 
 
@@ -83,12 +86,32 @@ class SystemConfig:
                 "normalized_utilization must be positive, got "
                 f"{self.normalized_utilization}"
             )
-        if self.dag_kind not in _DAG_KINDS:
+        if self.dag_kind not in family_names():
             raise GenerationError(
-                f"dag_kind must be one of {_DAG_KINDS}, got {self.dag_kind!r}"
+                f"dag_kind must be a registered family, one of "
+                f"{family_names()}; got {self.dag_kind!r}"
             )
         if not 1 <= self.min_vertices <= self.max_vertices:
             raise GenerationError("need 1 <= min_vertices <= max_vertices")
+        if self.dag_kind == "layered":
+            if self.layers < 1 or self.layer_width < 1:
+                raise GenerationError("layers and layer_width must be >= 1")
+            lo = max(self.min_vertices, self.layers)
+            hi = min(self.max_vertices, self.layers * self.layer_width)
+            if lo > hi:
+                raise GenerationError(
+                    f"layered config is contradictory: {self.layers} layers "
+                    f"of 1..{self.layer_width} vertices can only produce "
+                    f"{self.layers}..{self.layers * self.layer_width} "
+                    f"vertices, outside min/max_vertices "
+                    f"({self.min_vertices}, {self.max_vertices})"
+                )
+        if self.dag_kind == "nested_fork_join" and (
+            self.nfj_depth < 0 or self.nfj_max_branches < 2
+        ):
+            raise GenerationError(
+                "need nfj_depth >= 0 and nfj_max_branches >= 2"
+            )
 
     def with_utilization(self, normalized: float) -> "SystemConfig":
         """A copy at a different normalized utilization (sweep helper)."""
@@ -96,21 +119,42 @@ class SystemConfig:
 
 
 def generate_dag(config: SystemConfig, rng: np.random.Generator) -> DAG:
-    """One random DAG structure according to *config*."""
+    """One random DAG structure according to *config*.
+
+    The four random kinds are dispatched inline so the structural knobs of
+    :class:`SystemConfig` (edge probability, layer and fork-join settings)
+    apply; any other ``dag_kind`` resolves through the
+    :mod:`~repro.generation.families` registry.  Every path honours
+    ``min_vertices``/``max_vertices`` (fixed-size DAX families excepted):
+    the vertex count is drawn first and the structure built to match, and
+    contradictory configurations raise :class:`GenerationError` instead of
+    silently ignoring the bounds.
+    """
     sampler = uniform_wcet_sampler(config.wcet_low, config.wcet_high)
     if config.dag_kind == "erdos_renyi":
         n = int(rng.integers(config.min_vertices, config.max_vertices + 1))
         return erdos_renyi_dag(n, config.edge_probability, rng, sampler)
     if config.dag_kind == "layered":
+        lo = max(config.min_vertices, config.layers)
+        hi = min(config.max_vertices, config.layers * config.layer_width)
+        n = int(rng.integers(lo, hi + 1))
+        sizes = random_composition(n, config.layers, config.layer_width, rng)
         return layered_dag(
-            config.layers, config.layer_width, config.edge_probability, rng, sampler
+            config.layers, config.layer_width, config.edge_probability,
+            rng, sampler, layer_sizes=sizes,
         )
     if config.dag_kind == "nested_fork_join":
-        return nested_fork_join(
-            config.nfj_depth, config.nfj_max_branches, rng, sampler
+        n = int(rng.integers(config.min_vertices, config.max_vertices + 1))
+        return nested_fork_join_sized(
+            n, config.nfj_depth, config.nfj_max_branches, rng, sampler
         )
-    n = int(rng.integers(config.min_vertices, config.max_vertices + 1))
-    return series_parallel(n, rng, sampler)
+    if config.dag_kind == "series_parallel":
+        n = int(rng.integers(config.min_vertices, config.max_vertices + 1))
+        return series_parallel(n, rng, sampler, exact=True)
+    family = get_family(config.dag_kind)
+    return family.builder(
+        config.min_vertices, config.max_vertices, rng, sampler
+    )
 
 
 def generate_task(

@@ -72,6 +72,23 @@ class TraceConfig:
             raise GenerationError(
                 "need 0 < utilization_low <= utilization_high"
             )
+        # The heavy path multiplies heavy_utilization by U[0.5, 1.5) and
+        # redraws deadlines from heavy_deadline_ratio; a non-positive target
+        # or an inverted/out-of-range ratio pair would otherwise surface as
+        # cryptic per-arrival failures (or, worse, nonsense traces) deep
+        # inside generate_task.  Validate here, even when heavy_fraction is
+        # 0 -- a config that *can't* draw heavies should still be coherent.
+        if not self.heavy_utilization > 0:
+            raise GenerationError(
+                f"heavy_utilization must be positive, got "
+                f"{self.heavy_utilization}"
+            )
+        lo, hi = self.heavy_deadline_ratio
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise GenerationError(
+                "heavy_deadline_ratio must satisfy 0 <= lo <= hi <= 1, got "
+                f"({lo}, {hi})"
+            )
 
 
 def _arrival(

@@ -82,6 +82,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mean-lifetime", type=float, default=50.0,
         help="mean lifetime before a departure event is scheduled",
     )
+    gen.add_argument(
+        "--family", default=None, metavar="NAME",
+        help="draw every arrival's DAG from this workload-zoo family "
+        "(any repro.generation.families name; default erdos_renyi)",
+    )
+    gen.add_argument(
+        "--dax", type=Path, default=None, metavar="FILE.dax",
+        help="import a Pegasus DAX workflow and draw every arrival's DAG "
+        "from it (overrides --family)",
+    )
     add_observability_arguments(gen)
 
     rep = sub.add_parser(
@@ -171,6 +181,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _generate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.generation.families import register_dax_family
     from repro.generation.traces import TraceConfig, generate_trace
     from repro.online.trace import save_trace
 
@@ -181,6 +194,11 @@ def _generate(args: argparse.Namespace) -> int:
         mean_interarrival=args.mean_interarrival,
         mean_lifetime=args.mean_lifetime,
     )
+    family = args.family
+    if args.dax is not None:
+        family = register_dax_family(args.dax)
+    if family is not None:
+        config = replace(config, shape=replace(config.shape, dag_kind=family))
     events = generate_trace(config, args.seed)
     try:
         save_trace(events, args.output)

@@ -102,7 +102,7 @@ class TestExperimentRegistry:
     def test_all_design_md_ids_present(self):
         expected = {
             "FIG1", "EX2", "THM1", "LEM1", "LEM2",
-            "EXP-A", "EXP-B", "EXP-C", "EXP-D", "EXP-E", "EXP-F", "EXP-G", "EXT-H", "EXP-I", "EXP-J", "EXP-K", "EXP-L", "EXP-M", "EXP-N", "EXP-O", "EXP-P", "EXP-R", "EXP-S", "EXP-T",
+            "EXP-A", "EXP-B", "EXP-C", "EXP-D", "EXP-E", "EXP-F", "EXP-G", "EXT-H", "EXP-I", "EXP-J", "EXP-K", "EXP-L", "EXP-M", "EXP-N", "EXP-O", "EXP-P", "EXP-R", "EXP-S", "EXP-T", "EXP-W",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -2,14 +2,19 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import GenerationError
 from repro.generation.dag_generators import (
     erdos_renyi_dag,
     layered_dag,
     nested_fork_join,
+    nested_fork_join_sized,
+    random_composition,
     series_parallel,
 )
+from repro.generation.traces import TraceConfig
 from repro.generation.parameters import (
     constrained_deadline,
     loguniform,
@@ -18,7 +23,12 @@ from repro.generation.parameters import (
     uniform_wcet_sampler,
     uunifast,
 )
-from repro.generation.tasksets import SystemConfig, generate_system, generate_task
+from repro.generation.tasksets import (
+    SystemConfig,
+    generate_dag,
+    generate_system,
+    generate_task,
+)
 
 
 class TestErdosRenyi:
@@ -56,6 +66,18 @@ class TestLayered:
         with pytest.raises(GenerationError):
             layered_dag(0, 3, 0.5, rng)
 
+    def test_explicit_layer_sizes_taken_verbatim(self, rng):
+        dag = layered_dag(3, 5, 0.4, rng, layer_sizes=[2, 5, 1])
+        assert len(dag) == 8
+
+    def test_invalid_layer_sizes(self, rng):
+        with pytest.raises(GenerationError):
+            layered_dag(3, 5, 0.4, rng, layer_sizes=[2, 5])  # wrong length
+        with pytest.raises(GenerationError):
+            layered_dag(3, 5, 0.4, rng, layer_sizes=[2, 6, 1])  # > width
+        with pytest.raises(GenerationError):
+            layered_dag(3, 5, 0.4, rng, layer_sizes=[2, 0, 1])  # empty layer
+
 
 class TestNestedForkJoin:
     def test_single_source_sink(self, rng):
@@ -76,7 +98,7 @@ class TestNestedForkJoin:
 class TestSeriesParallel:
     def test_reaches_target(self, rng):
         dag = series_parallel(20, rng)
-        assert 20 <= len(dag) <= 23
+        assert 20 <= len(dag) <= 22
 
     def test_single_vertex(self, rng):
         assert len(series_parallel(1, rng)) == 1
@@ -84,6 +106,78 @@ class TestSeriesParallel:
     def test_invalid(self, rng):
         with pytest.raises(GenerationError):
             series_parallel(0, rng)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        target=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_overshoot_at_most_two(self, target, seed, p):
+        # Pins the documented bound: a final parallel expansion adds at most
+        # two vertices past the target (docstring used to claim three).
+        dag = series_parallel(
+            target, np.random.default_rng(seed), parallel_probability=p
+        )
+        assert target <= len(dag) <= target + 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        target=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_exact_mode_hits_target(self, target, seed):
+        dag = series_parallel(target, np.random.default_rng(seed), exact=True)
+        assert len(dag) == target
+        assert len(dag.sources) == 1 and len(dag.sinks) == 1
+
+
+class TestRandomComposition:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        parts=st.integers(min_value=1, max_value=12),
+        extra=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_sums_and_bounds(self, parts, extra, seed):
+        total = parts + extra
+        sizes = random_composition(
+            total, parts, None, np.random.default_rng(seed)
+        )
+        assert len(sizes) == parts and sum(sizes) == total
+        assert all(size >= 1 for size in sizes)
+
+    def test_cap_respected(self, rng):
+        sizes = random_composition(20, 5, 6, rng)
+        assert sum(sizes) == 20 and all(1 <= s <= 6 for s in sizes)
+
+    def test_impossible_totals_rejected(self, rng):
+        with pytest.raises(GenerationError):
+            random_composition(3, 5, None, rng)  # fewer units than parts
+        with pytest.raises(GenerationError):
+            random_composition(20, 3, 5, rng)  # cap * parts < total
+
+
+class TestNestedForkJoinSized:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        vertices=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_exact_size_single_source_sink(self, vertices, seed):
+        dag = nested_fork_join_sized(
+            vertices, 3, 4, np.random.default_rng(seed)
+        )
+        assert len(dag) == vertices
+        assert len(dag.sources) == 1 and len(dag.sinks) == 1
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(GenerationError):
+            nested_fork_join_sized(0, 3, 4, rng)
+        with pytest.raises(GenerationError):
+            nested_fork_join_sized(10, -1, 4, rng)
+        with pytest.raises(GenerationError):
+            nested_fork_join_sized(10, 3, 1, rng)
 
 
 class TestParameters:
@@ -163,6 +257,93 @@ class TestSystemConfig:
     def test_with_utilization(self):
         cfg = SystemConfig().with_utilization(0.8)
         assert cfg.normalized_utilization == 0.8
+
+    def test_contradictory_layered_bounds_rejected(self):
+        # 3 layers of <= 2 vertices can never reach 10 vertices.
+        with pytest.raises(GenerationError, match="contradictory"):
+            SystemConfig(
+                dag_kind="layered", layers=3, layer_width=2,
+                min_vertices=10, max_vertices=30,
+            )
+        # ... and 5 layers can never fit under 4 vertices.
+        with pytest.raises(GenerationError, match="contradictory"):
+            SystemConfig(
+                dag_kind="layered", layers=5, layer_width=6,
+                min_vertices=1, max_vertices=4,
+            )
+
+    def test_invalid_structural_knobs_rejected(self):
+        with pytest.raises(GenerationError):
+            SystemConfig(dag_kind="layered", layers=0)
+        with pytest.raises(GenerationError):
+            SystemConfig(dag_kind="nested_fork_join", nfj_max_branches=1)
+        with pytest.raises(GenerationError):
+            SystemConfig(min_vertices=12, max_vertices=5)
+
+
+class TestGenerateDagBounds:
+    """Regression: layered / nested_fork_join silently ignored the
+    min/max_vertices bounds (layer and depth knobs alone fixed the size)."""
+
+    KINDS = ("erdos_renyi", "layered", "nested_fork_join", "series_parallel")
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_generate_dag_respects_size_bounds(self, kind):
+        config = SystemConfig(dag_kind=kind, min_vertices=9, max_vertices=14)
+        for seed in range(10):
+            dag = generate_dag(config, np.random.default_rng(seed))
+            assert 9 <= len(dag) <= 14, (kind, seed, len(dag))
+
+    def test_layered_bounds_intersect_layer_range(self, rng):
+        # 4 layers of up to 3 vertices: sizes must land in [4, 12] *and*
+        # inside the requested [2, 10] window.
+        config = SystemConfig(
+            dag_kind="layered", layers=4, layer_width=3,
+            min_vertices=2, max_vertices=10,
+        )
+        for _ in range(10):
+            dag = generate_dag(config, rng)
+            assert 4 <= len(dag) <= 10
+
+    def test_degenerate_exact_size(self, rng):
+        config = SystemConfig(
+            dag_kind="nested_fork_join", min_vertices=13, max_vertices=13
+        )
+        assert len(generate_dag(config, rng)) == 13
+
+
+class TestTraceConfigValidation:
+    """Regression: the heavy-arrival knobs were never validated."""
+
+    def test_defaults_valid(self):
+        TraceConfig()
+
+    def test_heavy_utilization_must_be_positive(self):
+        with pytest.raises(GenerationError, match="heavy_utilization"):
+            TraceConfig(heavy_utilization=0.0)
+        with pytest.raises(GenerationError, match="heavy_utilization"):
+            TraceConfig(heavy_utilization=-1.5)
+
+    def test_heavy_deadline_ratio_must_be_ordered_unit_range(self):
+        with pytest.raises(GenerationError, match="heavy_deadline_ratio"):
+            TraceConfig(heavy_deadline_ratio=(0.4, 0.1))
+        with pytest.raises(GenerationError, match="heavy_deadline_ratio"):
+            TraceConfig(heavy_deadline_ratio=(-0.1, 0.5))
+        with pytest.raises(GenerationError, match="heavy_deadline_ratio"):
+            TraceConfig(heavy_deadline_ratio=(0.5, 1.2))
+
+    def test_heavy_knobs_validated_even_without_heavies(self):
+        # A config that cannot draw heavies must still be coherent.
+        with pytest.raises(GenerationError):
+            TraceConfig(heavy_fraction=0.0, heavy_utilization=-1.0)
+
+    def test_other_invalid_knobs_still_rejected(self):
+        with pytest.raises(GenerationError):
+            TraceConfig(events=0)
+        with pytest.raises(GenerationError):
+            TraceConfig(heavy_fraction=1.5)
+        with pytest.raises(GenerationError):
+            TraceConfig(utilization_low=0.5, utilization_high=0.1)
 
 
 class TestGenerateSystem:

@@ -17,6 +17,8 @@ generated with::
 
     python -m repro.experiments.runner --experiment FIG1 --experiment EX2 \\
         --experiment EXP-T --out tests/data
+    python -m repro.experiments.runner --experiment EXP-W --quick \\
+        --out tests/data
     python -m repro.online.cli generate tests/data/online_trace.jsonl \\
         --events 200 -m 16 --seed 0
     python -m repro.online.cli replay tests/data/online_trace.jsonl -m 16 \\
@@ -142,6 +144,46 @@ class TestGoldenGadgetFixtures:
             document = json.loads(path.read_text())
             system = system_from_dict(document["system"])
             assert system_to_dict(system) == document["system"]
+
+
+class TestGoldenZooSweep:
+    """The quick-mode EXP-W tables (per-family acceptance, mu-demand and
+    admission behaviour across the whole workload zoo) are deterministic --
+    derived seeds plus count/ratio columns only -- so they are pinned like
+    the other experiment snapshots."""
+
+    FILES = ["exp_w_0.csv", "exp_w_1.csv"]
+
+    @pytest.fixture(scope="class")
+    def regenerated_zoo(self, tmp_path_factory) -> Path:
+        out = tmp_path_factory.mktemp("golden_zoo")
+        exit_code = main(
+            ["--experiment", "EXP-W", "--quick", "--out", str(out)]
+        )
+        assert exit_code == 0
+        return out
+
+    def test_snapshots_are_committed(self):
+        for name in self.FILES:
+            assert (DATA / name).is_file(), f"missing golden snapshot {name}"
+
+    @pytest.mark.parametrize("name", ["exp_w_0.csv", "exp_w_1.csv"])
+    def test_runner_output_matches_snapshot(self, regenerated_zoo, name):
+        produced = (regenerated_zoo / name).read_bytes()
+        expected = (DATA / name).read_bytes()
+        assert produced == expected, (
+            f"{name} drifted from the committed golden snapshot; if the "
+            "change is intentional, regenerate tests/data/ (see module "
+            "docstring) and commit the diff"
+        )
+
+    def test_snapshot_covers_every_zoo_family(self):
+        from repro.experiments.exp_zoo import zoo_families
+
+        for name in self.FILES:
+            text = (DATA / name).read_text()
+            for family in zoo_families():
+                assert f"{family}," in text, (name, family)
 
 
 class TestGoldenOnlineTrace:
