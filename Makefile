@@ -1,6 +1,6 @@
 # Convenience targets for the fedcons reproduction.
 
-.PHONY: install test bench experiments quick-experiments examples profile clean
+.PHONY: install test bench experiments quick-experiments examples profile profile-admit clean
 
 install:
 	pip install -e .
@@ -25,6 +25,13 @@ examples:
 profile:
 	python -m repro.experiments.runner --experiment EXP-A --quick --profile profile.pstats
 	python -c "import pstats; pstats.Stats('profile.pstats').sort_stats('cumulative').print_stats(25)"
+
+# Profile the online admission hot path: generate a dense arrival/departure
+# trace, replay it under cProfile, and print the hottest 25 frames.
+profile-admit:
+	python -m repro.online.cli generate /tmp/admit_trace.jsonl --events 2000 -m 64 --seed 0
+	python -m repro.online.cli replay /tmp/admit_trace.jsonl -m 64 --profile profile_admit.pstats
+	python -c "import pstats; pstats.Stats('profile_admit.pstats').sort_stats('cumulative').print_stats(25)"
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

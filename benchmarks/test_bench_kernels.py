@@ -26,23 +26,39 @@ import random
 import time
 from pathlib import Path
 
+import repro.core.shard as shard_module
+import repro.online.controller as controller_module
 from repro.core.cache import caches
 from repro.core.dbf import demand_breakpoints, edf_exact_test, testing_interval_bound
 from repro.core.kernels import use_kernels
 from repro.core.minprocs import minprocs
 from repro.core.partition import AdmissionTest, TaskOrder, partition_sporadic
+from repro.core.shard import ShardState
 from repro.model.dag import DAG
 from repro.model.sporadic import SporadicTask
 from repro.model.task import SporadicDAGTask
+from repro.online.controller import AdmissionController
+
+minprocs_module = __import__(
+    "repro.core.minprocs", fromlist=["MU_SEARCH"]
+)
 
 ARTIFACT = Path(__file__).parent / "BENCH_kernels.json"
 
 _SEED = 0
-_REPEATS = 3
+#: Best-of repeats per timed configuration.  Scheduling noise on busy CI
+#: runners only ever *inflates* a run, so the minimum converges on the true
+#: cost; five repeats keep the speedup ratios stable enough for the floors.
+_REPEATS = 5
 
 #: ISSUE 5 acceptance floors.
 _MINPROCS_FLOOR = 3.0
 _EXACT_FLOOR = 5.0
+#: ISSUE 10 floors: bracketed mu-search vs the PR 5 linear scan (kernels on
+#: both sides) on wide-mu-range tasks, and batched admit_many probes vs the
+#: scalar first-fit scan on a warm reject-heavy batch.
+_MU_SEARCH_FLOOR = 2.0
+_BATCHED_FLOOR = 2.0
 
 
 def _minprocs_workload(count: int = 8) -> list[SporadicDAGTask]:
@@ -78,6 +94,32 @@ def _minprocs_workload(count: int = 8) -> list[SporadicDAGTask]:
     return tasks
 
 
+def _mu_search_workload(count: int = 6) -> list[SporadicDAGTask]:
+    """Wide-mu-range variant of :func:`_minprocs_workload`: twice the fringe
+    and a 1% deadline margin, so the linear Figure 3 scan walks ~100 cluster
+    sizes per task while the bracketed search probes ~a dozen."""
+    rng = random.Random(_SEED)
+    tasks = []
+    for index in range(count):
+        wcets = {}
+        edges = []
+        for v in range(20):
+            wcets[v] = rng.uniform(4.0, 6.0)
+            if v:
+                edges.append((v - 1, v))
+        for f in range(200):
+            v = 20 + f
+            wcets[v] = rng.uniform(0.5, 1.5)
+            edges.append((0, v))
+            edges.append((v, 19))
+        dag = DAG(wcets, edges)
+        deadline = dag.longest_chain_length * 1.01
+        tasks.append(
+            SporadicDAGTask(dag, deadline, deadline * 1.5, name=f"wm{index}")
+        )
+    return tasks
+
+
 def _partition_workload(count: int = 800) -> list[SporadicTask]:
     """Many light tasks on few processors, so each shard accumulates
     hundreds of DBF* test points and every first-fit probe sweeps them."""
@@ -92,6 +134,81 @@ def _partition_workload(count: int = 800) -> list[SporadicTask]:
                          name=f"lo{index}")
         )
     return tasks
+
+
+def _admit_workload(count: int = 500) -> list[SporadicDAGTask]:
+    """Light single-vertex DAG tasks for the admission-controller batch."""
+    rng = random.Random(_SEED + 3)
+    tasks = []
+    for index in range(count):
+        period = rng.uniform(20.0, 400.0)
+        deadline = period * rng.uniform(0.3, 0.9)
+        wcet = deadline * rng.uniform(0.002, 0.01)
+        tasks.append(
+            SporadicDAGTask(
+                DAG({0: wcet}, []), deadline, period, name=f"adm{index}"
+            )
+        )
+    return tasks
+
+
+def _warm_low_controller(
+    shards: int = 8, per_shard: int = 60
+) -> AdmissionController:
+    """A controller whose shards are all near the utilization ceiling.
+
+    Warm tasks share ``u = 0.99 / per_shard`` with ``period == deadline``
+    (so demand never binds during the fill), which makes first-fit pack
+    them strictly left to right: each shard accepts exactly *per_shard*
+    tasks before its utilization headroom drops below ``u`` and the stream
+    spills to the next shard.  Every shard ends with *per_shard* distinct
+    deadline test points and utilization 0.99.
+    """
+    util = 0.99 / per_shard
+    controller = AdmissionController(shards)
+    for index in range(shards * per_shard):
+        deadline = 10.0 + (index % per_shard) * 1.5
+        wcet = util * deadline
+        decision = controller.admit(
+            SporadicDAGTask(
+                DAG({0: wcet}, []), deadline, deadline, name=f"warm{index}"
+            )
+        )
+        assert decision.accepted
+    return controller
+
+
+def _reject_candidates(count: int = 400) -> list[SporadicDAGTask]:
+    """Candidates engineered to fail only the all-points demand scan.
+
+    Against the warm shards of :func:`_warm_low_controller`: deadline 5.0
+    sits below every stored test point (at-deadline demand 0, so the cheap
+    screen passes), utilization 0.005 fits the 0.01 headroom, but wcet 3.0
+    exceeds the ~1% slack the shard retains at its later test points -- the
+    rejection only surfaces in the O(points) scan, on every shard.
+    """
+    return [
+        SporadicDAGTask(
+            DAG({0: 3.0}, []), 5.0, 600.0, name=f"rej{index}"
+        )
+        for index in range(count)
+    ]
+
+
+def _probe_shard(points: int) -> ShardState:
+    """A shard holding *points* tasks, every deadline a distinct test point."""
+    rng = random.Random(_SEED + 4)
+    shard = ShardState()
+    for rank in range(points):
+        period = rng.uniform(50.0, 500.0)
+        deadline = period * rng.uniform(0.4, 0.9)
+        wcet = deadline * rng.uniform(0.0005, 0.002)
+        shard.add(
+            SporadicTask(wcet=wcet, deadline=deadline, period=period,
+                         name=f"pt{rank}"),
+            rank,
+        )
+    return shard
 
 
 def _oracle_workload(sets: int = 8, tasks_per_set: int = 40):
@@ -150,15 +267,22 @@ def test_bench_kernels():
                 minprocs(task, 512, order="smallest_wcet") for task in high_tasks
             ]
 
-        with use_kernels(False):
-            reference = run_minprocs()
-        with use_kernels(True):
-            kernel = run_minprocs()
-        assert all(r is not None for r in reference)
-        for a, b in zip(kernel, reference):
-            assert (a.processors, a.attempts) == (b.processors, b.attempts)
-            assert a.schedule.slots == b.schedule.slots
-        old_s, new_s = _time_both(run_minprocs)
+        # Pin the linear mu scan so this section keeps measuring kernel
+        # LS-run speed over the same attempt stream as earlier PRs; the
+        # bracketed-search win is measured separately below.
+        minprocs_module.MU_SEARCH = "linear"
+        try:
+            with use_kernels(False):
+                reference = run_minprocs()
+            with use_kernels(True):
+                kernel = run_minprocs()
+            assert all(r is not None for r in reference)
+            for a, b in zip(kernel, reference):
+                assert (a.processors, a.attempts) == (b.processors, b.attempts)
+                assert a.schedule.slots == b.schedule.slots
+            old_s, new_s = _time_both(run_minprocs)
+        finally:
+            minprocs_module.MU_SEARCH = "bisect"
         attempts = sum(r.attempts for r in reference)
         minprocs_speedup = old_s / new_s
         document["minprocs"] = {
@@ -167,6 +291,37 @@ def test_bench_kernels():
             "old_seconds": old_s,
             "new_seconds": new_s,
             "speedup": minprocs_speedup,
+        }
+
+        # -- mu-search strategy: bracketed vs the PR 5 linear scan ---------
+        wide_tasks = _mu_search_workload()
+
+        def run_mu_search():
+            return [
+                minprocs(task, 1024, order="smallest_wcet")
+                for task in wide_tasks
+            ]
+
+        with use_kernels(True):
+            minprocs_module.MU_SEARCH = "linear"
+            try:
+                linear_results = run_mu_search()
+                linear_s = _best_of(_REPEATS, run_mu_search)
+            finally:
+                minprocs_module.MU_SEARCH = "bisect"
+            bisect_results = run_mu_search()
+            bisect_s = _best_of(_REPEATS, run_mu_search)
+        for a, b in zip(bisect_results, linear_results):
+            assert (a.processors, a.attempts) == (b.processors, b.attempts)
+            assert a.schedule.slots == b.schedule.slots
+        mu_search_speedup = linear_s / bisect_s
+        document["mu_search"] = {
+            "tasks": len(wide_tasks),
+            "linear_ls_runs": sum(r.ls_runs for r in linear_results),
+            "bisect_ls_runs": sum(r.ls_runs for r in bisect_results),
+            "old_seconds": linear_s,
+            "new_seconds": bisect_s,
+            "speedup": mu_search_speedup,
         }
 
         # -- PARTITION all-points probe ------------------------------------
@@ -193,6 +348,111 @@ def test_bench_kernels():
             "old_seconds": old_s,
             "new_seconds": new_s,
             "speedup": old_s / new_s,
+        }
+
+        # -- batched admission probes (admit_many matrix vs scalar scan) ---
+        # Correctness leg: an all-accept batch on fresh controllers, where
+        # every accept dirties a column and the lazy re-validation path does
+        # real work; decisions and final shard ledgers must match bit for
+        # bit.
+        admit_tasks = _admit_workload()
+
+        def run_admit():
+            controller = AdmissionController(8)
+            return controller.admit_many(admit_tasks), controller
+
+        with use_kernels(True):
+            saved_min_points = controller_module.PROBE_MATRIX_MIN_POINTS
+            controller_module.PROBE_MATRIX_MIN_POINTS = 0
+            try:
+                batched_decisions, batched_controller = run_admit()
+            finally:
+                controller_module.PROBE_MATRIX_MIN_POINTS = saved_min_points
+            saved_min_shards = controller_module.PROBE_MATRIX_MIN_SHARDS
+            controller_module.PROBE_MATRIX_MIN_SHARDS = 10**9
+            try:
+                scalar_decisions, scalar_controller = run_admit()
+            finally:
+                controller_module.PROBE_MATRIX_MIN_SHARDS = saved_min_shards
+        assert [
+            (d.accepted, d.processors) for d in batched_decisions
+        ] == [(d.accepted, d.processors) for d in scalar_decisions]
+        assert [
+            s.state_vector() for s in batched_controller._shards
+        ] == [s.state_vector() for s in scalar_controller._shards]
+
+        # Timing leg: the case batching targets -- a warm controller whose
+        # shards are all crowded, and a batch of candidates that survive the
+        # O(log n) at-deadline/utilization screens and die in the O(points)
+        # all-points scan.  The scalar path pays that scan per (task, shard)
+        # pair; the matrix answers the whole batch in one broadcast.
+        # Rejections never mutate the controller, so every repeat starts
+        # from the identical warm state.
+        warm_controller = _warm_low_controller()
+        reject_batch = _reject_candidates()
+
+        def run_probe_batch():
+            return warm_controller.admit_many(reject_batch)
+
+        with use_kernels(True):
+            batched_reject = run_probe_batch()
+            batched_s = _best_of(_REPEATS, run_probe_batch)
+            saved_min_shards = controller_module.PROBE_MATRIX_MIN_SHARDS
+            controller_module.PROBE_MATRIX_MIN_SHARDS = 10**9
+            try:
+                scalar_reject = run_probe_batch()
+                scalar_s = _best_of(_REPEATS, run_probe_batch)
+            finally:
+                controller_module.PROBE_MATRIX_MIN_SHARDS = saved_min_shards
+        assert all(not d.accepted for d in batched_reject)
+        assert [
+            (d.accepted, d.processors) for d in batched_reject
+        ] == [(d.accepted, d.processors) for d in scalar_reject]
+        batched_speedup = scalar_s / batched_s
+        document["batched_probes"] = {
+            "equivalence_tasks": len(admit_tasks),
+            "timed_tasks": len(reject_batch),
+            "processors": 8,
+            "shard_points": len(warm_controller._shards[0]),
+            "admitted": 0,
+            "old_seconds": scalar_s,
+            "new_seconds": batched_s,
+            "speedup": batched_speedup,
+        }
+
+        # -- VECTOR_MIN_POINTS crossover micro-bench -----------------------
+        probe_candidate = SporadicTask(
+            wcet=0.01, deadline=1.0, period=1000.0, name="probe"
+        )
+        crossover = []
+        with use_kernels(True):
+            saved_min_points = shard_module.VECTOR_MIN_POINTS
+            try:
+                for size in (4, 8, 16, 32, 64, 128):
+                    shard = _probe_shard(size)
+                    timings = {}
+                    for label, threshold in (
+                        ("scalar", 10**9), ("vector", 0),
+                    ):
+                        shard_module.VECTOR_MIN_POINTS = threshold
+                        started = time.perf_counter()
+                        for _ in range(400):
+                            shard.fits_all_points(probe_candidate)
+                        timings[label] = (
+                            (time.perf_counter() - started) / 400 * 1e6
+                        )
+                    crossover.append(
+                        {
+                            "points": size,
+                            "scalar_us": timings["scalar"],
+                            "vector_us": timings["vector"],
+                        }
+                    )
+            finally:
+                shard_module.VECTOR_MIN_POINTS = saved_min_points
+        document["vector_min_points"] = {
+            "default": shard_module.VECTOR_MIN_POINTS,
+            "per_probe_us": crossover,
         }
 
         # -- exact-EDF oracle: QPA vs breakpoint scan ----------------------
@@ -223,13 +483,24 @@ def test_bench_kernels():
         }
 
         document["equivalence"] = {
-            "minprocs": True, "partition": True, "exact_oracle": True,
+            "minprocs": True, "mu_search": True, "partition": True,
+            "batched_probes": True, "exact_oracle": True,
         }
+        document["floors"]["mu_search"] = _MU_SEARCH_FLOOR
+        document["floors"]["batched_probes"] = _BATCHED_FLOOR
         ARTIFACT.write_text(json.dumps(document, indent=2) + "\n")
 
         assert minprocs_speedup >= _MINPROCS_FLOOR, (
             f"MINPROCS kernel speedup {minprocs_speedup:.2f}x below the "
             f"{_MINPROCS_FLOOR}x floor"
+        )
+        assert mu_search_speedup >= _MU_SEARCH_FLOOR, (
+            f"bracketed mu-search speedup {mu_search_speedup:.2f}x below "
+            f"the {_MU_SEARCH_FLOOR}x floor"
+        )
+        assert batched_speedup >= _BATCHED_FLOOR, (
+            f"batched-probe speedup {batched_speedup:.2f}x below the "
+            f"{_BATCHED_FLOOR}x floor"
         )
         assert oracle_speedup >= _EXACT_FLOOR, (
             f"exact-oracle QPA speedup {oracle_speedup:.2f}x below the "

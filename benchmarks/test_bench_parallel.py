@@ -10,8 +10,12 @@ Three timed configurations of the EXP-A quick acceptance sweep:
 
 The numbers land in ``benchmarks/BENCH_parallel.json`` so the speedup and
 hit-rate trajectory is comparable across PRs.  The >= 2x speedup criterion is
-asserted only on machines with >= 4 physical workers available; single-core
-CI containers still check the overhead bound and record their timings.
+asserted only on machines where this *process* can use >= 4 cores
+(:func:`repro.parallel.available_cpus` -- affinity-aware, unlike
+``os.cpu_count``); below 2 usable cores a "speedup" is noise, so none is
+recorded: the artifact carries an explicit ``skipped_reason`` instead of a
+meaningless ratio.  The jobs={1,2,4,8} scaling sweep lives in
+``test_bench_multicore.py``.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from pathlib import Path
 
 from repro.core.cache import caches, caching
 from repro.experiments.runner import run_experiment
+from repro.parallel import available_cpus
 
 ARTIFACT = Path(__file__).parent / "BENCH_parallel.json"
 
@@ -48,7 +53,8 @@ def _csv_bytes(tables, directory: Path, tag: str) -> bytes:
 
 
 def test_bench_parallel(tmp_path, show):
-    jobs = min(4, os.cpu_count() or 1)
+    cpus = available_cpus()
+    jobs = min(4, cpus)
 
     serial_tables, serial_seconds = _run(jobs=1)
     parallel_tables, parallel_seconds = _run(jobs=jobs)
@@ -73,7 +79,19 @@ def test_bench_parallel(tmp_path, show):
     assert cache_stats["minprocs"]["hits"] > 0
     assert cache_stats["minprocs"]["hit_rate"] > 0.0
 
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    # A speedup ratio measured where the process cannot run two workers at
+    # once is pool overhead, not a measurement; record why it is absent
+    # rather than a ~1.0 number that looks like a (failed) result.
+    skipped_reason = None
+    if cpus < 2:
+        skipped_reason = (
+            f"only {cpus} usable core(s): parallel speedup is not measurable"
+        )
+    speedup = (
+        serial_seconds / parallel_seconds
+        if parallel_seconds and skipped_reason is None
+        else None
+    )
     ARTIFACT.write_text(
         json.dumps(
             {
@@ -81,10 +99,12 @@ def test_bench_parallel(tmp_path, show):
                 "samples": _SAMPLES,
                 "seed": _SEED,
                 "cpu_count": os.cpu_count(),
+                "available_cpus": cpus,
                 "jobs": jobs,
                 "serial_seconds": serial_seconds,
                 "parallel_seconds": parallel_seconds,
                 "speedup": speedup,
+                "skipped_reason": skipped_reason,
                 "warm_cached_serial_seconds": warm_seconds,
                 "csv_identical": True,
                 "cache": cache_stats,
@@ -94,15 +114,15 @@ def test_bench_parallel(tmp_path, show):
         + "\n"
     )
 
-    if jobs >= 4:
+    if cpus >= 4:
         # The tentpole's acceptance criterion, on hardware that can show it.
-        assert speedup >= 2.0, (
-            f"jobs={jobs} speedup {speedup:.2f}x < 2x "
+        assert speedup is not None and speedup >= 2.0, (
+            f"jobs={jobs} speedup {speedup}x < 2x "
             f"({serial_seconds:.2f}s -> {parallel_seconds:.2f}s)"
         )
     else:
-        # Single-core container: parallel dispatch may not win, but its
-        # overhead must stay bounded.
+        # Too few usable cores for a speedup claim: parallel dispatch may
+        # not win, but its overhead must stay bounded.
         assert parallel_seconds <= serial_seconds * 3.0
 
     show(serial_tables)

@@ -1,0 +1,339 @@
+"""Optional numba tier for the two hottest kernels (``REPRO_KERNELS=jit``).
+
+The NumPy tier of :mod:`repro.core.kernels` already removed the per-call
+object churn from the analysis hot loops, but two of them remain pure Python
+at their core: the :func:`~repro.core.kernels.ls_run` int-heap loop (executed
+once per MINPROCS attempt) and the per-task accumulation inside
+:func:`~repro.core.kernels.dbf_star_totals`.  This module compiles both with
+numba under the same non-negotiable contract as every other kernel tier:
+
+    **bit-identical results.**  The jit ``ls_run`` mirrors the Python heap
+    loop operation-for-operation; because every heap key is unique (priority
+    ranks are a permutation, running jobs carry a tie counter), the pop
+    sequence of *any* correct binary heap is fully determined by the keys,
+    so the assignment order -- and with it every ``now + wcet`` float -- is
+    identical.  The jit ``dbf_star_totals`` performs the same per-task
+    sequential accumulation with the same IEEE double expressions (kept in
+    separate statements so LLVM cannot contract ``u * (t - d) + c`` into an
+    FMA, which would round differently).
+
+Availability is strictly optional: when numba is not importable every entry
+point returns ``None`` and the callers in :mod:`repro.core.kernels` fall
+through to the NumPy tier -- ``REPRO_KERNELS=jit`` on a numba-less machine
+behaves exactly like ``REPRO_KERNELS=1``.  (A Cython fallback would slot in
+behind the same ``available()`` probe; numba is preferred because it needs
+no build step.)  Compilation is lazy -- the first jit-backed call pays the
+LLVM compile -- and :func:`warm` triggers it eagerly, which the admission
+server does at startup so no client request eats the compile latency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["available", "ls_run", "dbf_star_totals", "warm"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _NUMBA = True
+except ImportError:  # pragma: no cover - the common container case
+    _NUMBA = False
+
+    def _njit(*args, **kwargs):  # type: ignore[misc]
+        """No-op decorator so the module still imports without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+def available() -> bool:
+    """Whether the numba tier can actually answer (numba importable)."""
+    return _NUMBA
+
+
+# ---------------------------------------------------------------------------
+# compiled primitives
+# ---------------------------------------------------------------------------
+
+@_njit(cache=True)
+def _heap_push_int(heap, size, value):  # pragma: no cover - jit body
+    heap[size] = value
+    i = size
+    while i > 0:
+        parent = (i - 1) >> 1
+        if heap[parent] > heap[i]:
+            heap[parent], heap[i] = heap[i], heap[parent]
+            i = parent
+        else:
+            break
+    return size + 1
+
+
+@_njit(cache=True)
+def _heap_pop_int(heap, size):  # pragma: no cover - jit body
+    top = heap[0]
+    size -= 1
+    heap[0] = heap[size]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        smallest = left
+        right = left + 1
+        if right < size and heap[right] < heap[left]:
+            smallest = right
+        if heap[smallest] < heap[i]:
+            heap[i], heap[smallest] = heap[smallest], heap[i]
+            i = smallest
+        else:
+            break
+    return top, size
+
+
+@_njit(cache=True)
+def _run_less(ends, ties, a, b):  # pragma: no cover - jit body
+    if ends[a] < ends[b]:
+        return True
+    if ends[a] == ends[b] and ties[a] < ties[b]:
+        return True
+    return False
+
+
+@_njit(cache=True)
+def _run_swap(ends, ties, verts, a, b):  # pragma: no cover - jit body
+    ends[a], ends[b] = ends[b], ends[a]
+    ties[a], ties[b] = ties[b], ties[a]
+    verts[a], verts[b] = verts[b], verts[a]
+
+
+@_njit(cache=True)
+def _run_push(ends, ties, verts, size, end, tie, vert):  # pragma: no cover
+    ends[size] = end
+    ties[size] = tie
+    verts[size] = vert
+    i = size
+    while i > 0:
+        parent = (i - 1) >> 1
+        if _run_less(ends, ties, i, parent):
+            _run_swap(ends, ties, verts, i, parent)
+            i = parent
+        else:
+            break
+    return size + 1
+
+
+@_njit(cache=True)
+def _run_pop(ends, ties, verts, size):  # pragma: no cover - jit body
+    vert = verts[0]
+    size -= 1
+    ends[0] = ends[size]
+    ties[0] = ties[size]
+    verts[0] = verts[size]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        smallest = left
+        right = left + 1
+        if right < size and _run_less(ends, ties, right, left):
+            smallest = right
+        if _run_less(ends, ties, smallest, i):
+            _run_swap(ends, ties, verts, i, smallest)
+            i = smallest
+        else:
+            break
+    return vert, size
+
+
+@_njit(cache=True)
+def _ls_run_impl(  # pragma: no cover - jit body
+    wcet, indptr, succ, indeg0, prio, inv_prio, processors
+):
+    n = wcet.shape[0]
+    indegree = indeg0.copy()
+    ready = np.empty(n, np.int64)
+    rsize = 0
+    for i in range(n):
+        if indegree[i] == 0:
+            rsize = _heap_push_int(ready, rsize, prio[i])
+    run_end = np.empty(n, np.float64)
+    run_tie = np.empty(n, np.int64)
+    run_vert = np.empty(n, np.int64)
+    qsize = 0
+    tie = 0
+    idle = processors
+    now = 0.0
+    raw_vert = np.empty(n, np.int64)
+    raw_start = np.empty(n, np.float64)
+    raw_end = np.empty(n, np.float64)
+    raw_proc = np.empty(n, np.int64)
+    assigned = np.zeros(n, np.int64)
+    free = np.empty(processors, np.int64)
+    for k in range(processors):
+        free[k] = processors - 1 - k
+    fsize = processors
+    makespan = 0.0
+    scheduled = 0
+    while scheduled < n:
+        while rsize > 0 and idle > 0:
+            p, rsize = _heap_pop_int(ready, rsize)
+            i = inv_prio[p]
+            fsize -= 1
+            proc = free[fsize]
+            assigned[i] = proc
+            end = now + wcet[i]
+            raw_vert[scheduled] = i
+            raw_start[scheduled] = now
+            raw_end[scheduled] = end
+            raw_proc[scheduled] = proc
+            if end > makespan:
+                makespan = end
+            qsize = _run_push(run_end, run_tie, run_vert, qsize, end, tie, i)
+            tie += 1
+            idle -= 1
+            scheduled += 1
+        if scheduled >= n:
+            break
+        if qsize == 0:
+            # Deadlock: unscheduled vertices but nothing running.  Signalled
+            # via a negative makespan; the wrapper raises the same
+            # AnalysisError as the Python loop.
+            return -1.0, raw_vert, raw_start, raw_end, raw_proc
+        now = run_end[0]
+        while qsize > 0 and run_end[0] <= now:
+            done, qsize = _run_pop(run_end, run_tie, run_vert, qsize)
+            free[fsize] = assigned[done]
+            fsize += 1
+            idle += 1
+            for k in range(indptr[done], indptr[done + 1]):
+                j = succ[k]
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    rsize = _heap_push_int(ready, rsize, prio[j])
+    return makespan, raw_vert, raw_start, raw_end, raw_proc
+
+
+@_njit(cache=True)
+def _dbf_star_totals_impl(wcet, util, deadline, pts):  # pragma: no cover
+    total = np.zeros(pts.shape[0])
+    for k in range(wcet.shape[0]):
+        c = wcet[k]
+        u = util[k]
+        d = deadline[k]
+        for j in range(pts.shape[0]):
+            t = pts[j]
+            if t < d:
+                total[j] += 0.0
+            else:
+                # Two statements so LLVM cannot contract the multiply-add
+                # into an FMA (which rounds once instead of twice).
+                term = u * (t - d)
+                total[j] += c + term
+    return total
+
+
+# ---------------------------------------------------------------------------
+# wrappers (return None when numba is absent -> callers fall through)
+# ---------------------------------------------------------------------------
+
+def _compiled_arrays(compiled):
+    """Numpy mirrors of a CompiledDAG's flat lists, cached on the artifact."""
+    cached = compiled._jit_arrays
+    if cached is not None:
+        return cached
+    arrays = (
+        np.asarray(compiled.wcet, dtype=np.float64),
+        np.asarray(compiled.succ_indptr, dtype=np.int64),
+        np.asarray(compiled.succ_indices, dtype=np.int64),
+        np.asarray(compiled.indegree, dtype=np.int64),
+        {},  # per-priority-list (prio array, inverse permutation) cache
+    )
+    compiled._jit_arrays = arrays
+    return arrays
+
+
+def _priority_arrays(cache: dict, prio: Sequence[int]):
+    """``(prio_arr, inv_arr)`` for a priority ranking, cached by identity.
+
+    MINPROCS reuses one memoized priority list across its whole mu-search,
+    so an ``id()``-keyed cache avoids re-materializing the arrays per LS
+    run; the list is held in the cache entry, keeping the id stable.
+    """
+    entry = cache.get(id(prio))
+    if entry is not None and entry[0] is prio:
+        return entry[1], entry[2]
+    prio_arr = np.asarray(prio, dtype=np.int64)
+    inv = np.empty_like(prio_arr)
+    inv[prio_arr] = np.arange(prio_arr.shape[0], dtype=np.int64)
+    cache[id(prio)] = (prio, prio_arr, inv)
+    return prio_arr, inv
+
+
+def ls_run(
+    compiled, processors: int, prio: Sequence[int]
+) -> tuple[float, list[tuple[int, float, float, int]]] | None:
+    """Jit-backed Graham LS pass; ``None`` when numba is unavailable."""
+    if not _NUMBA:
+        return None
+    wcet, indptr, succ, indeg, prio_cache = _compiled_arrays(compiled)
+    prio_arr, inv = _priority_arrays(prio_cache, prio)
+    makespan, rv, rs, re, rp = _ls_run_impl(
+        wcet, indptr, succ, indeg, prio_arr, inv, processors
+    )
+    if makespan < 0.0:
+        from repro.errors import AnalysisError
+
+        raise AnalysisError(
+            "LS deadlocked: no running job but unscheduled vertices remain"
+        )
+    raw = [
+        (int(rv[k]), float(rs[k]), float(re[k]), int(rp[k]))
+        for k in range(rv.shape[0])
+    ]
+    return float(makespan), raw
+
+
+def dbf_star_totals(tasks, points) -> np.ndarray | None:
+    """Jit-backed ``sum_i DBF*``; ``None`` when numba is unavailable."""
+    if not _NUMBA:
+        return None
+    pts = np.asarray(points, dtype=np.float64)
+    wcet = np.empty(len(tasks), np.float64)
+    util = np.empty(len(tasks), np.float64)
+    deadline = np.empty(len(tasks), np.float64)
+    for k, task in enumerate(tasks):
+        wcet[k] = task.wcet
+        util[k] = task.utilization
+        deadline[k] = task.deadline
+    return _dbf_star_totals_impl(wcet, util, deadline, pts)
+
+
+def warm() -> bool:
+    """Eagerly compile both jit kernels (lazy otherwise); False if no numba.
+
+    The admission server calls this at startup so the one-off LLVM compile
+    happens before the first client request rather than inside it.
+    """
+    if not _NUMBA:
+        return False
+    wcet = np.asarray([1.0, 2.0], np.float64)
+    indptr = np.asarray([0, 1, 1], np.int64)
+    succ = np.asarray([1], np.int64)
+    indeg = np.asarray([0, 1], np.int64)
+    prio = np.asarray([0, 1], np.int64)
+    inv = np.asarray([0, 1], np.int64)
+    _ls_run_impl(wcet, indptr, succ, indeg, prio, inv, 2)
+    _dbf_star_totals_impl(
+        wcet, np.asarray([0.1, 0.2]), np.asarray([4.0, 8.0]),
+        np.asarray([1.0, 5.0, 9.0]),
+    )
+    return True

@@ -10,11 +10,28 @@ The search starts at ``ceil(delta_i)`` -- fewer processors cannot possibly
 carry a density-``delta_i`` task -- and stops at the number of remaining
 processors ``m_r``; if no ``mu <= m_r`` works, the task is unschedulable on
 the remaining platform and ``None`` is returned (the paper's ``infinity``).
+
+Search strategy
+---------------
+The paper's Figure 3 scans ``mu`` linearly.  Because the LS makespan over a
+fixed priority list is (almost always) non-increasing in the processor
+count, the default strategy brackets the first fitting ``mu`` with a
+galloping probe sequence and then bisects -- O(log range) LS runs instead of
+O(range).  Graham's anomalies mean monotonicity is not a theorem, so every
+bracketed search re-checks the makespans it actually observed: any
+non-monotone pair triggers a transparent fallback to the full linear scan
+(probe results are reused), guaranteeing the returned
+:attr:`MinProcsResult.processors` matches Figure 3 whenever an anomaly
+manifests among the probed points.  ``REPRO_MU_SEARCH=linear`` forces the
+literal Figure 3 scan; either way the reported ``attempts`` stays the
+canonical ``mu* - start + 1`` so results are bit-identical across
+strategies, while ``ls_runs`` records what the strategy really paid.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -36,6 +53,16 @@ __all__ = ["MinProcsResult", "minprocs", "minprocs_unbounded"]
 
 _log = get_logger(__name__)
 
+#: Search strategy: "bisect" (gallop + binary search, the default) or
+#: "linear" (the literal Figure 3 scan).  Module attribute so tests and
+#: benchmarks can monkeypatch it without touching the environment.
+MU_SEARCH = os.environ.get("REPRO_MU_SEARCH", "bisect").strip().lower() or "bisect"
+
+#: Below this many candidate processor counts the bracketed search cannot
+#: beat the linear scan (the gallop alone probes ~log2(range) points), so
+#: small searches stay on the legacy loop.
+BISECT_MIN_RANGE = 8
+
 
 @dataclass(frozen=True)
 class MinProcsResult:
@@ -48,12 +75,21 @@ class MinProcsResult:
     schedule:
         The template schedule ``sigma_i`` replayed at run time.
     attempts:
-        How many LS runs the search performed (for complexity experiments).
+        The canonical Figure 3 attempt count ``mu* - ceil(delta) + 1`` (how
+        many LS runs the paper's linear scan performs).  Identical across
+        search strategies, kernel tiers, and cache hits -- complexity
+        experiments and bit-identity checks key off this.
+    ls_runs:
+        How many LS runs the chosen strategy actually performed: equals
+        ``attempts`` for the linear scan, O(log range) for the bracketed
+        search, ``0`` when answered from the analysis cache, ``None`` only
+        for legacy constructors that never measured it.
     """
 
     processors: int
     schedule: Schedule
     attempts: int
+    ls_runs: int | None = None
 
 
 def minprocs(
@@ -114,21 +150,23 @@ def _minprocs_search(
     available: int,
     order: str | Sequence[VertexId],
 ) -> MinProcsResult | None:
-    """The uncached MINPROCS search loop (validation already done).
+    """The uncached MINPROCS search (validation already done).
 
-    The per-task LS inputs are hoisted out of the ``mu`` loop: with kernels
+    The per-task LS inputs are hoisted out of the ``mu`` probes: with kernels
     enabled, one :class:`~repro.core.kernels.CompiledDAG` (and its priority
     permutation) backs every attempt and only the *fitting* attempt
     materializes Slot objects; with kernels disabled, the priority list and
     indegree template are still computed once via :func:`prepare_ls` instead
-    of once per attempt.  Either way each attempt performs exactly one LS
-    run, so ``minprocs_ls_runs``/``list_schedule_*`` counters, trace events
-    and the returned ``attempts`` are unchanged.
+    of once per attempt.
+
+    Probe results are memoized per ``mu`` so the anomaly fallback re-uses
+    rather than re-runs them; ``minprocs_ls_runs``/``list_schedule_*``
+    counters record actual LS work (``ls_runs``), while the returned
+    ``attempts`` always reports the canonical linear-scan count.
     """
     ctx = current_context()
     name = task.name or repr(task)
     start = max(1, math.ceil(task.density - 1e-12))
-    attempts = 0
     # Matches Schedule.meets_deadline's tolerance.
     deadline_tol = task.deadline + 1e-9
     use_kernel = _kernel_flags.enabled
@@ -145,26 +183,24 @@ def _minprocs_search(
         compiled = None
         prepared = prepare_ls(task.dag, order)
 
-    def _record_search() -> None:
-        _metrics.incr("minprocs_ls_runs", attempts)
-        if use_kernel:
-            _metrics.incr("list_schedule_invocations", attempts)
-            _metrics.incr("list_schedule_vertices", attempts * len(task.dag))
-        _metrics.record_time(
-            "minprocs.search_seconds", time.perf_counter() - search_started
-        )
+    probes: dict[int, tuple[float, bool, object]] = {}
+    ls_runs = 0
+    last_step_mu = -1
 
-    for mu in range(start, available + 1):
-        attempts += 1
-        schedule: Schedule | None
+    def _probe(mu: int) -> tuple[float, bool, object]:
+        nonlocal ls_runs, last_step_mu
+        entry = probes.get(mu)
+        if entry is not None:
+            return entry
+        ls_runs += 1
+        payload: object
         if use_kernel:
-            makespan, raw = _kernels.ls_run(compiled, mu, prio_ranks)
+            makespan, payload = _kernels.ls_run(compiled, mu, prio_ranks)
             fits = makespan <= deadline_tol
-            schedule = None
         else:
-            schedule = list_schedule(task.dag, mu, prepared=prepared)
-            makespan = schedule.makespan
-            fits = schedule.meets_deadline(task.deadline)
+            payload = list_schedule(task.dag, mu, prepared=prepared)
+            makespan = payload.makespan
+            fits = payload.meets_deadline(task.deadline)
         if ctx is not None:
             ctx.record(
                 MinprocsStep(
@@ -175,25 +211,112 @@ def _minprocs_search(
                     fits=fits,
                 )
             )
+        last_step_mu = mu
         _log.debug(
             "MINPROCS %s: mu=%d makespan=%g deadline=%g -> %s",
             name, mu, makespan, task.deadline,
             "fits" if fits else "too long",
         )
-        if fits:
-            if timing:
-                _record_search()
-            if schedule is None:
-                schedule = _kernels.build_schedule(task.dag, compiled, mu, raw)
-                schedule.validate()
-            return MinProcsResult(processors=mu, schedule=schedule, attempts=attempts)
-    if timing:
-        _record_search()
-    _log.debug(
-        "MINPROCS %s: no cluster of <= %d processors meets deadline %g",
-        name, available, task.deadline,
-    )
-    return None
+        entry = (makespan, fits, payload)
+        probes[mu] = entry
+        return entry
+
+    def _monotone() -> bool:
+        """Makespan non-increasing over every *observed* probe pair."""
+        mus = sorted(probes)
+        for a, b in zip(mus, mus[1:]):
+            if probes[a][0] < probes[b][0]:
+                return False
+        return True
+
+    def _record_search() -> None:
+        _metrics.incr("minprocs_ls_runs", ls_runs)
+        if use_kernel:
+            _metrics.incr("list_schedule_invocations", ls_runs)
+            _metrics.incr("list_schedule_vertices", ls_runs * len(task.dag))
+        _metrics.record_time(
+            "minprocs.search_seconds", time.perf_counter() - search_started
+        )
+
+    def _finish(mu: int) -> MinProcsResult:
+        if timing:
+            _record_search()
+        makespan, _fits, payload = _probe(mu)
+        if ctx is not None and last_step_mu != mu:
+            # The bracketed search's last probe may be a non-fitting lower
+            # bound; re-emit the winning cluster so traces still end on a
+            # fitting step (no extra LS run -- the probe is memoized).
+            ctx.record(
+                MinprocsStep(
+                    task=name,
+                    processors=mu,
+                    makespan=makespan,
+                    deadline=task.deadline,
+                    fits=True,
+                )
+            )
+        if use_kernel:
+            schedule = _kernels.build_schedule(task.dag, compiled, mu, payload)
+            schedule.validate()
+        else:
+            schedule = payload
+        return MinProcsResult(
+            processors=mu,
+            schedule=schedule,
+            attempts=mu - start + 1,
+            ls_runs=ls_runs,
+        )
+
+    def _reject() -> None:
+        if timing:
+            _record_search()
+        _log.debug(
+            "MINPROCS %s: no cluster of <= %d processors meets deadline %g",
+            name, available, task.deadline,
+        )
+        return None
+
+    def _linear() -> MinProcsResult | None:
+        for mu in range(start, available + 1):
+            if _probe(mu)[1]:
+                return _finish(mu)
+        return _reject()
+
+    if MU_SEARCH == "linear" or available - start + 1 < BISECT_MIN_RANGE:
+        return _linear()
+
+    # Gallop from `start` with doubling stride to bracket the first fit.
+    if _probe(start)[1]:
+        return _finish(start)
+    lo = start  # largest mu known not to fit
+    hi = -1  # smallest mu known to fit
+    step = 1
+    while hi < 0:
+        nxt = min(lo + step, available)
+        if _probe(nxt)[1]:
+            hi = nxt
+        elif nxt == available:
+            break
+        else:
+            lo = nxt
+            step *= 2
+    if not _monotone():
+        # Graham anomaly among the observed makespans: the bracket cannot be
+        # trusted.  Replay Figure 3 verbatim (memoized probes are free).
+        _metrics.incr("minprocs_anomaly_fallbacks")
+        return _linear()
+    if hi < 0:
+        return _reject()
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _probe(mid)[1]:
+            hi = mid
+        else:
+            lo = mid
+    if not _monotone():
+        _metrics.incr("minprocs_anomaly_fallbacks")
+        return _linear()
+    return _finish(hi)
 
 
 def _minprocs_cached(
@@ -229,7 +352,10 @@ def _minprocs_cached(
             mu, schedule = payload
             if mu <= available:
                 return MinProcsResult(
-                    processors=mu, schedule=schedule, attempts=mu - start + 1
+                    processors=mu,
+                    schedule=schedule,
+                    attempts=mu - start + 1,
+                    ls_runs=0,
                 )
             return None
         if available <= payload:  # searched this far before: nothing fits

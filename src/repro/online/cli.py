@@ -144,6 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "never fsyncs (faster; an OS crash may lose the last few events, "
         "a process crash may not)",
     )
+    rep.add_argument(
+        "--profile", type=Path, default=None, metavar="OUT.pstats",
+        help="run the replay loop under cProfile and write the stats "
+        "(pstats format) to this path",
+    )
     add_observability_arguments(rep)
     add_telemetry_arguments(rep)
 
@@ -315,7 +320,26 @@ def _replay(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
         )
-    report = replay(controller, events, oracle_every=args.oracle_every)
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        report = replay(controller, events, oracle_every=args.oracle_every)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if profiler is not None:
+        from repro.io import write_pstats
+
+        try:
+            write_pstats(args.profile, profiler)
+        except OSError as exc:
+            print(f"error: cannot write {args.profile}: {exc}", file=sys.stderr)
+            return 2
+        print(f"profile written to {args.profile}")
     if args.journal is not None:
         if args.checkpoint is not None:
             controller.checkpoint()

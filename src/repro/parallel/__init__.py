@@ -18,6 +18,7 @@ See ``docs/PARALLEL.md`` for the design and the ``--jobs`` /
 from repro.parallel.engine import (
     GridSpec,
     SampleEvaluator,
+    available_cpus,
     effective_jobs,
     run_grid,
 )
@@ -31,6 +32,7 @@ from repro.parallel.seeds import (
 __all__ = [
     "GridSpec",
     "SampleEvaluator",
+    "available_cpus",
     "effective_jobs",
     "run_grid",
     "derive_seed",

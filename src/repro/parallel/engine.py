@@ -43,7 +43,13 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import metrics as _metrics
 from repro.parallel.seeds import sample_rng
 
-__all__ = ["GridSpec", "SampleEvaluator", "effective_jobs", "run_grid"]
+__all__ = [
+    "GridSpec",
+    "SampleEvaluator",
+    "available_cpus",
+    "effective_jobs",
+    "run_grid",
+]
 
 _log = get_logger(__name__)
 
@@ -154,10 +160,36 @@ def _run_chunk(spec: _ChunkSpec) -> _ChunkResult:
     return _ChunkResult(outcomes=outcomes, metrics_snapshot=snapshot)
 
 
+def available_cpus() -> int:
+    """CPU cores this *process* may actually use (never 0).
+
+    Prefers ``os.process_cpu_count`` (Python 3.13+), then the scheduling
+    affinity mask (which containers and ``taskset`` shrink below the
+    machine-wide ``os.cpu_count``), then ``os.cpu_count`` itself.  Speedup
+    claims in the parallel benchmarks are meaningless against a core count
+    the process cannot use, which is why they gate on this, not
+    ``os.cpu_count``.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+        if count:
+            return count
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            count = len(sched_getaffinity(0))
+        except OSError:
+            count = 0
+        if count:
+            return count
+    return os.cpu_count() or 1
+
+
 def effective_jobs(jobs: int | None) -> int:
-    """Resolve a ``--jobs`` value: ``None``/``0`` means every CPU core."""
+    """Resolve a ``--jobs`` value: ``None``/``0`` means every usable core."""
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     if jobs < 0:
         raise AnalysisError(f"jobs must be >= 0, got {jobs}")
     return jobs

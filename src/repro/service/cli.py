@@ -5,6 +5,7 @@ Four subcommands::
     fedcons-serve serve --journal J.jsonl -m 16 [--port P] [--http-port H]
                   [--checkpoint C.json --checkpoint-every N]
                   [--fsync batch] [--max-batch N] [--announce]
+                  [--profile OUT.pstats]
         run the primary: an asyncio AdmissionServer over a durable
         controller.  An existing journal is recovered first (oracle-checked
         replay), so restarting the primary resumes its state.  With
@@ -95,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--announce", action="store_true",
         help="print one JSON readiness line with the bound ports",
     )
+    srv.add_argument(
+        "--profile", type=Path, default=None, metavar="OUT.pstats",
+        help="run the server under cProfile and write the stats (pstats "
+        "format) to this path on shutdown",
+    )
     add_observability_arguments(srv)
     add_telemetry_arguments(srv)
 
@@ -150,10 +156,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 async def _serve_async(args: argparse.Namespace) -> int:
+    from repro.core.kernels import kernel_backend
     from repro.online.controller import AdmissionController
     from repro.online.persist import DurableController, Journal, recover
     from repro.service.server import AdmissionServer
 
+    if kernel_backend() == "jit":
+        # Pay the numba compile cost before the first request, not during
+        # it; a no-op (with a note) when numba is not installed.
+        from repro.core import jit as _jit
+
+        if _jit.warm():
+            print("jit kernels compiled and warm", file=sys.stderr)
+        else:
+            print(
+                "REPRO_KERNELS=jit but numba is unavailable; "
+                "serving on the numpy kernels",
+                file=sys.stderr,
+            )
     if args.journal.exists() and args.journal.stat().st_size > 0:
         controller, report = recover(args.checkpoint, args.journal)
         print(report.describe(), file=sys.stderr)
@@ -194,12 +214,31 @@ async def _serve_async(args: argparse.Namespace) -> int:
             f"[fsync={args.fsync}]",
             file=sys.stderr,
         )
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
         loop.add_signal_handler(signum, stop.set)
-    await stop.wait()
+    try:
+        await stop.wait()
+    finally:
+        if profiler is not None:
+            profiler.disable()
     await server.aclose()
+    if profiler is not None:
+        from repro.io import write_pstats
+
+        try:
+            write_pstats(args.profile, profiler)
+        except OSError as exc:
+            print(f"error: cannot write {args.profile}: {exc}", file=sys.stderr)
+            return 2
+        print(f"profile written to {args.profile}", file=sys.stderr)
     return 0
 
 
